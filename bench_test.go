@@ -1,0 +1,396 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md §4 maps each one). Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// The first run trains and caches the two reference models under
+// testdata/fixtures (a few minutes on one core); later runs reuse them.
+// Each benchmark prints the regenerated rows once, then times the runner.
+// CAPNN_COMBOS=n raises the statistical averaging toward the paper's 200
+// random class combinations.
+package capnn
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"capnn/internal/core"
+	"capnn/internal/exp"
+	"capnn/internal/firing"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+var (
+	mainOnce sync.Once
+	mainFx   *exp.Fixture
+	mainErr  error
+
+	c10Once sync.Once
+	c10Fx   *exp.Fixture
+	c10Err  error
+)
+
+func mainFixture(b *testing.B) *exp.Fixture {
+	b.Helper()
+	mainOnce.Do(func() { mainFx, mainErr = exp.Load(exp.ImageNet20Config(), os.Stderr) })
+	if mainErr != nil {
+		b.Fatalf("fixture: %v", mainErr)
+	}
+	return mainFx
+}
+
+func cifarFixture(b *testing.B) *exp.Fixture {
+	b.Helper()
+	c10Once.Do(func() { c10Fx, c10Err = exp.Load(exp.CIFAR10Config(), os.Stderr) })
+	if c10Err != nil {
+		b.Fatalf("fixture: %v", c10Err)
+	}
+	return c10Fx
+}
+
+func benchScale() exp.Scale { return exp.QuickScale().FromEnv() }
+
+// Fig. 4 and Fig. 5 are two views of the same K×usage sweep; the rows are
+// computed once and shared so `go test -bench=.` does not pay for the
+// multi-minute sweep twice.
+var (
+	cmpOnce sync.Once
+	cmpRows []exp.ComparisonRow
+	cmpErr  error
+)
+
+func comparisonRows(b *testing.B, fx *exp.Fixture, scale exp.Scale) []exp.ComparisonRow {
+	b.Helper()
+	cmpOnce.Do(func() { cmpRows, cmpErr = exp.RunComparison(fx, scale, nil) })
+	if cmpErr != nil {
+		b.Fatal(cmpErr)
+	}
+	return cmpRows
+}
+
+// BenchmarkFig3Example times the worked example of Fig. 3: CAP'NN-W's
+// effective-rate rule on the paper's 3-neuron/3-class matrix.
+func BenchmarkFig3Example(b *testing.B) {
+	rates := exampleRates()
+	prefs, err := core.Weighted([]int{0, 1, 2}, []float64{0.8, 0.1, 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	pruned := 0
+	for i := 0; i < b.N; i++ {
+		for n := 0; n < 3; n++ {
+			if core.EffectiveRate(rates, prefs, n) <= 0.1 {
+				pruned++
+			}
+		}
+	}
+	if pruned == 0 {
+		b.Fatal("Fig. 3 example pruned nothing")
+	}
+}
+
+// BenchmarkFig4ModelSize regenerates Fig. 4 (average relative model size
+// of B/W/M across K and usage distributions).
+func BenchmarkFig4ModelSize(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := comparisonRows(b, fx, scale)
+		if i == 0 {
+			exp.PrintFig4(os.Stdout, rows, scale)
+		}
+	}
+}
+
+// BenchmarkFig5Accuracy regenerates Fig. 5 (top-1 accuracy of B/W/M vs
+// the unpruned model, same sweep as Fig. 4).
+func BenchmarkFig5Accuracy(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := comparisonRows(b, fx, scale)
+		if i == 0 {
+			exp.PrintFig5(os.Stdout, rows, scale)
+		}
+	}
+}
+
+// BenchmarkFig6Tradeoff regenerates Fig. 6 (CAP'NN-M size/accuracy as K
+// grows toward the full class space).
+func BenchmarkFig6Tradeoff(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	ks := exp.DefaultTradeoffKs(fx.Config.Synth.Classes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunTradeoff(fx, scale, ks, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintFig6(os.Stdout, rows, fx.Config.Synth.Classes, scale)
+		}
+	}
+}
+
+// BenchmarkTable1Energy regenerates Table I (relative energy of CAP'NN-M
+// pruned models on the TPU-like device).
+func BenchmarkTable1Energy(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunEnergy(fx, scale, exp.Table1Ks, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintTable1(os.Stdout, rows, scale)
+		}
+	}
+}
+
+// BenchmarkTable2Stacked regenerates Table II (CAP'NN-M stacked on
+// class-unaware pruned + fine-tuned models).
+func BenchmarkTable2Stacked(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunStacked(fx, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintTable2(os.Stdout, rows, scale)
+		}
+	}
+}
+
+// BenchmarkTable3Captor regenerates Table III (normalized energy vs the
+// CAPTOR-style class-adaptive comparator on the 10-class model).
+func BenchmarkTable3Captor(b *testing.B) {
+	fx := cifarFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunCaptor(fx, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintTable3(os.Stdout, rows, scale)
+		}
+	}
+}
+
+// BenchmarkMemoryOverhead regenerates the §V-C firing-rate storage
+// accounting.
+func BenchmarkMemoryOverhead(b *testing.B) {
+	fx := mainFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := exp.RunMemory(fx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintMemory(os.Stdout, rep)
+		}
+	}
+}
+
+// --- latency micro-benchmarks (paper §III: online pruning is fast) -------
+
+// BenchmarkOnlineB times CAP'NN-B's run-time step: intersecting the
+// per-class pruning vectors (the paper's "fast online procedure").
+func BenchmarkOnlineB(b *testing.B) {
+	fx := mainFixture(b)
+	bm, err := fx.EnsureB(os.Stderr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	K := []int{1, 5, 9, 13, 17}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OnlineB(bm, K); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPruneW times CAP'NN-W's full online pruning pass (threshold
+// descent + ε checks through the suffix evaluator).
+func BenchmarkPruneW(b *testing.B) {
+	fx := mainFixture(b)
+	prefs, err := core.Weighted([]int{2, 11}, []float64{0.8, 0.2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PruneW(fx.Sys.Eval, fx.Sys.Rates, prefs, fx.Sys.Params); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInference times one forward pass of the unpruned reference
+// model — the device-side cost CAP'NN reduces.
+func BenchmarkInference(b *testing.B) {
+	fx := mainFixture(b)
+	x, _ := fx.Sets.Test.Batch([]int{0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fx.Net.Forward(x)
+	}
+}
+
+// BenchmarkInferencePruned times a forward pass of a compacted
+// personalized model for comparison with BenchmarkInference.
+func BenchmarkInferencePruned(b *testing.B) {
+	fx := mainFixture(b)
+	prefs := core.Uniform([]int{3, 7})
+	masks, err := fx.Sys.Prune(core.VariantM, prefs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fx.Net.SetPruning(masks)
+	pruned, err := nn.Compact(fx.Net)
+	fx.Net.ClearPruning()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, _ := fx.Sets.Test.Batch([]int{0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pruned.Forward(x)
+	}
+}
+
+// BenchmarkConvForward times the substrate's 3×3 convolution.
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	conv, err := nn.NewConv2D("c", []int{8, 32, 32}, 16, 3, 1, 1, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := tensor.New(1, 8, 32, 32)
+	x.FillNormal(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		conv.Forward(x)
+	}
+}
+
+// BenchmarkFiringProfile times the preprocessing step: class-specific
+// firing-rate computation over one profiling batch.
+func BenchmarkFiringProfile(b *testing.B) {
+	fx := mainFixture(b)
+	stages := fx.Sys.Params.Stages
+	small := fx.Sets.Profile.Subset(firstN(fx.Sets.Profile.Len(), 40))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ProfileRates(fx.Net, small, stages); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func firstN(total, n int) []int {
+	if n > total {
+		n = total
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
+}
+
+func exampleRates() *firing.LayerRates {
+	return &firing.LayerRates{Units: 3, Classes: 3, F: []float64{
+		0.05, 0.30, 0.02,
+		0.02, 0.03, 0.01,
+		0.50, 0.60, 0.40,
+	}}
+}
+
+// BenchmarkAblationEpsilon sweeps the ε budget (the central knob of
+// Algorithms 1-2) against model size for CAP'NN-W.
+func BenchmarkAblationEpsilon(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	eps := []float64{0.02, 0.05, 0.08, 0.12, 0.2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunEpsilonAblation(fx, scale, eps, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintEpsilonAblation(os.Stdout, rows, 3, scale)
+		}
+	}
+}
+
+// BenchmarkAblationQuantization compares pruning decisions under b-bit
+// quantized firing rates against full precision (paper §V-C stores
+// 3-bit codes).
+func BenchmarkAblationQuantization(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	bits := []int{1, 2, 3, 4, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunQuantAblation(fx, scale, bits, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintQuantAblation(os.Stdout, rows, 3)
+		}
+	}
+}
+
+// BenchmarkClaims executes the paper-claim checklist (EXPERIMENTS.md) end
+// to end against both fixtures.
+func BenchmarkClaims(b *testing.B) {
+	fx := mainFixture(b)
+	c10 := cifarFixture(b)
+	scale := benchScale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		claims, err := exp.CheckClaims(fx, c10, scale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintClaims(os.Stdout, claims)
+		}
+	}
+}
+
+// BenchmarkAblationLstart sweeps how many trailing layers CAP'NN may
+// prune (the paper's footnote-3 "last 6 layers" design choice).
+func BenchmarkAblationLstart(b *testing.B) {
+	fx := mainFixture(b)
+	scale := benchScale()
+	counts := []int{2, 3, 5, 8, 12}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp.RunLstartAblation(fx, scale, counts, 3, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			exp.PrintLstartAblation(os.Stdout, rows, 3, scale)
+		}
+	}
+}

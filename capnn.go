@@ -1,0 +1,303 @@
+// Package capnn is the public API of this CAP'NN reproduction: class-aware
+// personalized neural-network inference (Hemmat, San Miguel, Davoodi,
+// DAC 2020).
+//
+// CAP'NN takes an already-trained CNN and personalizes it for a user who
+// only encounters a subset of the output classes: it prunes ineffectual
+// units (rarely firing for the user's classes) and miseffectual units
+// (firing toward confusing wrong classes) without retraining, while
+// guaranteeing per-class accuracy degradation stays within ε. Three
+// variants are provided: CAP'NN-B (per-class matrices + online
+// intersection), CAP'NN-W (usage-weighted effective firing rates) and
+// CAP'NN-M (miseffectual pruning on top of W).
+//
+// A typical flow:
+//
+//	net, _ := capnn.BuildVGG(capnn.DefaultVGGConfig(20))      // or load one
+//	capnn.Train(net, trainSet, valSet, capnn.DefaultTrainConfig())
+//	sys, _ := capnn.NewSystem(net, valSet, profileSet, nil, capnn.DefaultParams())
+//	prefs := capnn.Uniform([]int{3, 7})                        // user's classes
+//	res, _ := sys.Personalize(capnn.VariantM, prefs, testSet)  // prune + measure
+//	fmt.Println(res.RelativeSize, res.Top1, res.BaseTop1)
+//
+// The heavy lifting lives in internal packages (tensor math, the NN
+// substrate, firing-rate profiling, the pruning algorithms, the TPU-like
+// device simulator, the analytical energy model, the class-unaware
+// baselines, and the cloud personalization service); this package
+// re-exports the surface a downstream user needs.
+package capnn
+
+import (
+	"io"
+
+	"capnn/internal/baselines"
+	"capnn/internal/cloud"
+	"capnn/internal/core"
+	"capnn/internal/data"
+	"capnn/internal/energy"
+	"capnn/internal/firing"
+	"capnn/internal/hw"
+	"capnn/internal/nn"
+	"capnn/internal/train"
+)
+
+// --- model substrate ------------------------------------------------------
+
+// Network is a feed-forward CNN with prunable units.
+type Network = nn.Network
+
+// VGGConfig describes a VGG-16-style classifier (13 conv + 3 FC).
+type VGGConfig = nn.VGGConfig
+
+// Builder assembles custom sequential networks.
+type Builder = nn.Builder
+
+// BuildVGG constructs a VGG-16-style network.
+func BuildVGG(cfg VGGConfig) (*Network, error) { return nn.BuildVGG(cfg) }
+
+// DefaultVGGConfig returns the reference VGG-16-mini for a class count.
+func DefaultVGGConfig(classes int) VGGConfig { return nn.DefaultVGGConfig(classes) }
+
+// NewBuilder starts a custom network for [c,h,w] inputs with a seed.
+func NewBuilder(c, h, w int, seed int64) *Builder { return nn.NewBuilder(c, h, w, seed) }
+
+// SaveModel / LoadModel serialize networks (weights + prune masks).
+func SaveModel(w io.Writer, net *Network) error { return nn.Save(w, net) }
+
+// LoadModel reads a network written by SaveModel.
+func LoadModel(r io.Reader) (*Network, error) { return nn.Load(r) }
+
+// SaveModelFile / LoadModelFile are the file-path variants.
+func SaveModelFile(path string, net *Network) error { return nn.SaveFile(path, net) }
+
+// LoadModelFile reads a network from a file.
+func LoadModelFile(path string) (*Network, error) { return nn.LoadFile(path) }
+
+// Compact physically removes pruned units, producing the deployable model.
+func Compact(net *Network) (*Network, error) { return nn.Compact(net) }
+
+// --- data -----------------------------------------------------------------
+
+// Dataset is a labeled image set.
+type Dataset = data.Dataset
+
+// SynthConfig parameterizes the synthetic class-prototype generator.
+type SynthConfig = data.SynthConfig
+
+// Generator produces synthetic datasets with confusion-group structure.
+type Generator = data.Generator
+
+// Sets bundles train/val/test/profile splits.
+type Sets = data.Sets
+
+// SetSizes gives per-class sample counts per split.
+type SetSizes = data.SetSizes
+
+// DefaultSynthConfig returns the harness generator settings for a class count.
+func DefaultSynthConfig(classes int) SynthConfig { return data.DefaultSynthConfig(classes) }
+
+// NewGenerator builds class prototypes for cfg.
+func NewGenerator(cfg SynthConfig) (*Generator, error) { return data.NewGenerator(cfg) }
+
+// MakeSets draws the four disjoint splits from a generator.
+func MakeSets(gen *Generator, sz SetSizes) *Sets { return data.MakeSets(gen, sz) }
+
+// --- training -------------------------------------------------------------
+
+// TrainConfig controls a training run.
+type TrainConfig = train.Config
+
+// Eval summarizes classification quality.
+type Eval = train.Eval
+
+// DefaultTrainConfig returns the reference training settings.
+func DefaultTrainConfig() TrainConfig { return train.DefaultConfig() }
+
+// Train fits net on trainSet; valSet may be nil.
+func Train(net *Network, trainSet, valSet *Dataset, cfg TrainConfig) error {
+	_, err := train.Train(net, trainSet, valSet, cfg)
+	return err
+}
+
+// Evaluate reports top-1/top-5/per-class accuracy of net on ds.
+func Evaluate(net *Network, ds *Dataset) Eval { return train.Evaluate(net, ds) }
+
+// FineTune briefly retrains a (possibly masked) network.
+func FineTune(net *Network, trainSet, valSet *Dataset, epochs int, seed int64) error {
+	return train.FineTune(net, trainSet, valSet, epochs, seed)
+}
+
+// --- CAP'NN core ------------------------------------------------------------
+
+// Preferences is the user's class subset with usage weights.
+type Preferences = core.Preferences
+
+// Params are the ε / Tstart / step knobs of Algorithms 1–2.
+type Params = core.Params
+
+// Variant selects CAP'NN-B, -W or -M.
+type Variant = core.Variant
+
+// System bundles a trained model with its cloud-side pruning assets.
+type System = core.System
+
+// Result reports a pruning run's size and accuracy outcome.
+type Result = core.Result
+
+// Monitor tracks on-device predictions to derive preferences.
+type Monitor = core.Monitor
+
+// Rates holds class-specific firing-rate matrices.
+type Rates = firing.Rates
+
+// The three pruning variants.
+const (
+	VariantB = core.VariantB
+	VariantW = core.VariantW
+	VariantM = core.VariantM
+)
+
+// DefaultParams returns the paper's settings (ε=3%, Tstart=0.4, step=0.025).
+func DefaultParams() Params { return core.DefaultParams() }
+
+// Uniform builds equal-usage preferences over the given classes.
+func Uniform(classes []int) Preferences { return core.Uniform(classes) }
+
+// Weighted builds preferences from classes and (normalized) usage weights.
+func Weighted(classes []int, weights []float64) (Preferences, error) {
+	return core.Weighted(classes, weights)
+}
+
+// NewMonitor creates a prediction monitor over numClasses.
+func NewMonitor(numClasses int) (*Monitor, error) { return core.NewMonitor(numClasses) }
+
+// NewSystem profiles net (when rates is nil) and prepares it for pruning.
+func NewSystem(net *Network, valSet, profileSet *Dataset, rates *Rates, params Params) (*System, error) {
+	return core.NewSystem(net, valSet, profileSet, rates, params)
+}
+
+// ProfileRates computes class-specific firing rates over the given stages
+// (nil stages = the paper's last-6-layers rule).
+func ProfileRates(net *Network, profileSet *Dataset, stages []int) (*Rates, error) {
+	if stages == nil {
+		stages = firing.PrunableStages(net)
+	}
+	return firing.Compute(net, profileSet, stages)
+}
+
+// PrunableStages returns the paper's prunable stage indices for net.
+func PrunableStages(net *Network) []int { return firing.PrunableStages(net) }
+
+// --- hardware & energy ------------------------------------------------------
+
+// DeviceConfig describes the TPU-like local device (Fig. 2).
+type DeviceConfig = hw.Config
+
+// HWCounts are per-inference operation and memory-access totals.
+type HWCounts = hw.Counts
+
+// EnergyComponents are per-operation energies (Table I).
+type EnergyComponents = energy.Components
+
+// DefaultDevice returns the edge-scale device used by the experiments.
+func DefaultDevice() DeviceConfig { return hw.DefaultConfig() }
+
+// PaperEnergies returns the component energies of the paper's Table I.
+func PaperEnergies() EnergyComponents { return energy.PaperTable1() }
+
+// SimulateDevice counts one inference's operations and accesses.
+func SimulateDevice(net *Network, dev DeviceConfig) (HWCounts, error) {
+	counts, _, err := hw.Simulate(net, dev)
+	return counts, err
+}
+
+// EnergyOf estimates one inference's energy in picojoules.
+func EnergyOf(net *Network, dev DeviceConfig, comp EnergyComponents) (float64, error) {
+	return energy.OfNetwork(net, dev, comp)
+}
+
+// RelativeEnergy applies masks and returns pruned/original energy.
+func RelativeEnergy(net *Network, masks map[int][]bool, dev DeviceConfig, comp EnergyComponents) (float64, error) {
+	return energy.RelativeOfMasks(net, masks, dev, comp)
+}
+
+// --- baselines ---------------------------------------------------------------
+
+// PruneCriterion selects a class-unaware pruning rule.
+type PruneCriterion = baselines.Criterion
+
+// Class-unaware criteria (He et al. [5]-style, Network Trimming [6]-style,
+// ThiNet [9]-style).
+const (
+	ByWeightNorm     = baselines.ByWeightNorm
+	ByMeanFiringRate = baselines.ByMeanFiringRate
+	ByThiNet         = baselines.ByThiNet
+)
+
+// PruneUnaware applies a class-unaware baseline at the given fraction.
+func PruneUnaware(net *Network, stages []int, fraction float64, crit PruneCriterion,
+	rates *Rates, sampleSet *Dataset) (map[int][]bool, error) {
+	return baselines.PruneUnaware(net, stages, fraction, crit, rates, sampleSet)
+}
+
+// --- cloud service -----------------------------------------------------------
+
+// CloudServer personalizes models over TCP (Fig. 1a's pruning process).
+type CloudServer = cloud.Server
+
+// CloudClient fetches personalized models from a CloudServer.
+type CloudClient = cloud.Client
+
+// CloudRequest / CloudStats are the wire types.
+type (
+	CloudRequest = cloud.Request
+	CloudStats   = cloud.Stats
+)
+
+// NewCloudServer wraps a prepared System.
+func NewCloudServer(sys *System) *CloudServer { return cloud.NewServer(sys) }
+
+// NewCloudClient builds a client for the given address.
+func NewCloudClient(addr string) *CloudClient { return cloud.NewClient(addr) }
+
+// --- cloud device lifecycle ---------------------------------------------------
+
+// CloudDevice models the device-side lifecycle: local inference, the
+// monitoring period, drift detection, and repersonalization when the
+// user's class usage changes (paper §II).
+type CloudDevice = cloud.Device
+
+// NewCloudDevice wraps a client and the initial (commodity) model.
+func NewCloudDevice(client *CloudClient, initial *Network, numClasses int, variant string) (*CloudDevice, error) {
+	return cloud.NewDevice(client, initial, numClasses, variant)
+}
+
+// --- energy breakdown / packed rates -----------------------------------------
+
+// LayerEnergy is one layer's energy contribution by component family.
+type LayerEnergy = energy.LayerEnergy
+
+// EnergyBreakdown returns per-layer energies and the total for one
+// inference on the device.
+func EnergyBreakdown(net *Network, dev DeviceConfig, comp EnergyComponents) ([]LayerEnergy, float64, error) {
+	return energy.Breakdown(net, dev, comp)
+}
+
+// PackedRates is the bit-packed cloud storage format for firing rates
+// (paper §V-C, 3-bit by default).
+type PackedRates = firing.PackedRates
+
+// PackRates quantizes and bit-packs firing rates for cloud storage.
+func PackRates(r *Rates, bits int) (*PackedRates, error) { return firing.Pack(r, bits) }
+
+// RateOverhead reports the §V-C memory overhead of storing rates at the
+// given bit width against a model with paramCount 16-bit parameters.
+func RateOverhead(r *Rates, bits, paramCount int) (firing.Overhead, error) {
+	return firing.MemoryOverhead(r, bits, paramCount)
+}
+
+// ThiNetGreedy runs the faithful greedy ThiNet [9] channel selection for
+// one stage (PruneUnaware's ByThiNet is its cheap one-shot form).
+func ThiNetGreedy(net *Network, stage int, fraction float64, sampleSet *Dataset, locations int, seed int64) ([]bool, error) {
+	return baselines.ThiNetGreedy(net, stage, fraction, sampleSet, locations, seed)
+}

@@ -1,0 +1,54 @@
+// Command capnn-cloud runs the cloud side of the personalization
+// framework (Fig. 1a): it loads/trains the reference model, listens on a
+// TCP port, and serves compacted personalized models to devices.
+//
+//	capnn-cloud -addr 127.0.0.1:7878
+//
+// A device can then fetch a model with the client in examples/
+// personalized-device or via capnn.NewCloudClient.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"capnn/internal/cloud"
+	"capnn/internal/exp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
+	model := flag.String("model", "imagenet20", "fixture to serve: imagenet20 or cifar10")
+	flag.Parse()
+
+	var cfg exp.FixtureConfig
+	switch *model {
+	case "imagenet20":
+		cfg = exp.ImageNet20Config()
+	case "cifar10":
+		cfg = exp.CIFAR10Config()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	fx, err := exp.Load(cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := cloud.NewServer(fx.Sys)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("capnn-cloud: serving %s on %s (Ctrl-C to stop)\n", cfg.Name, bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	_ = srv.Close()
+	fmt.Println("capnn-cloud: stopped")
+}

@@ -1,0 +1,48 @@
+// Command capnn-debug prints diagnostic summaries of a fixture's firing
+// rates and Algorithm 1 matrices.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"capnn/internal/exp"
+)
+
+func main() {
+	fx, err := exp.Load(exp.ImageNet20Config(), os.Stderr)
+	if err != nil {
+		panic(err)
+	}
+	b, err := fx.EnsureB(os.Stderr)
+	if err != nil {
+		panic(err)
+	}
+	for _, l := range b.Stages {
+		units := b.Units[l]
+		fmt.Printf("stage %d (%d units):\n  per-class prunable counts:", l, units)
+		for c := 0; c < b.Classes; c++ {
+			n := 0
+			for u := 0; u < units; u++ {
+				if b.At(l, u, c) {
+					n++
+				}
+			}
+			fmt.Printf(" %d", n)
+		}
+		fmt.Println()
+		lr := fx.Rates.Layers[l]
+		lo, hi, mean := 1.0, 0.0, 0.0
+		for _, v := range lr.F {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			mean += v
+		}
+		mean /= float64(len(lr.F))
+		fmt.Printf("  rates: min %.3f max %.3f mean %.3f\n", lo, hi, mean)
+	}
+}

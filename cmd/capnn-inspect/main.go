@@ -1,0 +1,88 @@
+// Command capnn-inspect dumps a saved model's architecture, parameter
+// distribution, prune masks, and estimated per-inference energy on the
+// default TPU-like device.
+//
+//	capnn-inspect -model path/to/model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"capnn/internal/energy"
+	"capnn/internal/hw"
+	"capnn/internal/nn"
+)
+
+func main() {
+	path := flag.String("model", "", "path to a model saved with nn.Save / capnn.SaveModel")
+	flag.Parse()
+	if *path == "" {
+		fmt.Fprintln(os.Stderr, "capnn-inspect: -model is required")
+		os.Exit(2)
+	}
+	if err := run(*path); err != nil {
+		fmt.Fprintln(os.Stderr, "capnn-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	net, err := nn.LoadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("model %s\ninput %v, %d layers, %d parameters\n\n", path, net.InShape, len(net.Layers), net.ParamCount())
+
+	fmt.Printf("%-12s %-8s %18s %18s %10s %8s\n", "layer", "kind", "in", "out", "params", "pruned")
+	fmt.Println(strings.Repeat("-", 80))
+	for _, l := range net.Layers {
+		params := 0
+		for _, p := range l.Params() {
+			params += p.W.Len()
+		}
+		pruned := "-"
+		if u, ok := l.(nn.UnitLayer); ok {
+			n := 0
+			for _, p := range u.Pruned() {
+				if p {
+					n++
+				}
+			}
+			pruned = fmt.Sprintf("%d/%d", n, u.Units())
+		}
+		fmt.Printf("%-12s %-8s %18v %18v %10d %8s\n",
+			l.Name(), kindOf(l), l.InShape(), l.OutShape(), params, pruned)
+	}
+
+	counts, _, err := hw.Simulate(net, hw.DefaultConfig())
+	if err != nil {
+		fmt.Printf("\ndevice simulation unavailable: %v\n", err)
+		return nil
+	}
+	pj := energy.Estimate(counts, energy.PaperTable1())
+	fmt.Printf("\nper-inference on the default device: %d MACs, %d DRAM words, %.2f µJ, %d cycles\n",
+		counts.MACs, counts.DRAMReads+counts.DRAMWrites, pj/1e6, counts.Cycles)
+	return nil
+}
+
+func kindOf(l nn.Layer) string {
+	switch l.(type) {
+	case *nn.Conv2D:
+		return "conv"
+	case *nn.Dense:
+		return "dense"
+	case *nn.ReLU:
+		return "relu"
+	case *nn.MaxPool2D:
+		return "pool"
+	case *nn.Flatten:
+		return "flatten"
+	case *nn.Dropout:
+		return "dropout"
+	default:
+		return "?"
+	}
+}

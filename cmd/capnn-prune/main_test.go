@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("3, 7,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 3 || got[2] != 12 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("3,x"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if got, err := parseInts(""); err != nil || got != nil {
+		t.Fatalf("empty input: %v %v", got, err)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := parseFloats("0.6, 0.3,0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[1] != 0.3 {
+		t.Fatalf("parseFloats = %v", got)
+	}
+	if _, err := parseFloats("1,two"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

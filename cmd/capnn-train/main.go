@@ -1,0 +1,49 @@
+// Command capnn-train trains (or loads from the fixture cache) a CAP'NN
+// reference model and reports its test accuracy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"capnn/internal/exp"
+	"capnn/internal/train"
+)
+
+func main() {
+	model := flag.String("model", "imagenet20", "fixture to train: imagenet20 or cifar10")
+	noise := flag.Float64("noise", 0, "override generator NoiseStd (0 = fixture default)")
+	groupMix := flag.Float64("groupmix", 0, "override generator GroupMix (0 = fixture default)")
+	epochs := flag.Int("epochs", 0, "override training epochs (0 = fixture default)")
+	flag.Parse()
+	var cfg exp.FixtureConfig
+	switch *model {
+	case "imagenet20":
+		cfg = exp.ImageNet20Config()
+	case "cifar10":
+		cfg = exp.CIFAR10Config()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	if *noise > 0 {
+		cfg.Synth.NoiseStd = *noise
+	}
+	if *groupMix > 0 {
+		cfg.Synth.GroupMix = *groupMix
+	}
+	if *epochs > 0 {
+		cfg.Train.Epochs = *epochs
+	}
+	start := time.Now()
+	fx, err := exp.Load(cfg, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	ev := train.Evaluate(fx.Net, fx.Sets.Test)
+	fmt.Printf("%s ready in %v: test top-1 %.3f  top-5 %.3f  params %d\n",
+		cfg.Name, time.Since(start).Round(time.Second), ev.Top1, ev.Top5, fx.Net.ParamCount())
+}

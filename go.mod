@@ -1,0 +1,3 @@
+module capnn
+
+go 1.22

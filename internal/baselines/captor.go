@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"fmt"
+
+	"capnn/internal/firing"
+	"capnn/internal/nn"
+)
+
+// CAPTORConfig parameterizes the class-adaptive comparator of Table III,
+// modeled on Qin et al. [11]: given a predefined subset of classes, prune
+// the convolutional filters whose activation for that subset is low.
+// Unlike CAP'NN it ignores per-class usage weights, offers no accuracy
+// guarantee (no ε feedback loop), and — per the paper's Related Works —
+// prunes only convolutional layers, never fully-connected neurons.
+type CAPTORConfig struct {
+	// Theta is the firing-rate threshold: a filter is pruned when its
+	// mean firing rate over the kept classes is below Theta.
+	Theta float64
+	// Stages are the candidate stages; non-conv stages are skipped.
+	Stages []int
+}
+
+// DefaultCAPTORConfig mirrors the comparator settings used in the
+// Table III reproduction.
+func DefaultCAPTORConfig(net *nn.Network) CAPTORConfig {
+	return CAPTORConfig{Theta: 0.12, Stages: firing.PrunableStages(net)}
+}
+
+// CAPTORPrune computes prune masks for the class subset K. Masks are
+// produced only for conv stages; at least one filter per layer survives.
+func CAPTORPrune(net *nn.Network, rates *firing.Rates, K []int, cfg CAPTORConfig) (map[int][]bool, error) {
+	if len(K) == 0 {
+		return nil, fmt.Errorf("baselines: empty class subset")
+	}
+	if cfg.Theta <= 0 || cfg.Theta >= 1 {
+		return nil, fmt.Errorf("baselines: theta %v outside (0,1)", cfg.Theta)
+	}
+	stages := net.Stages()
+	masks := map[int][]bool{}
+	for _, si := range cfg.Stages {
+		if si < 0 || si >= len(stages) {
+			return nil, fmt.Errorf("baselines: stage %d outside [0,%d)", si, len(stages))
+		}
+		if _, isConv := stages[si].Unit.(*nn.Conv2D); !isConv {
+			continue // CAPTOR is filter pruning: conv layers only
+		}
+		lr := rates.Layers[si]
+		if lr == nil {
+			return nil, fmt.Errorf("baselines: no firing rates for stage %d", si)
+		}
+		units := stages[si].Unit.Units()
+		mask := make([]bool, units)
+		kept := units
+		for n := 0; n < units; n++ {
+			mean := 0.0
+			for _, k := range K {
+				if k < 0 || k >= lr.Classes {
+					return nil, fmt.Errorf("baselines: class %d outside [0,%d)", k, lr.Classes)
+				}
+				mean += lr.At(n, k)
+			}
+			mean /= float64(len(K))
+			if mean < cfg.Theta && kept > 1 {
+				mask[n] = true
+				kept--
+			}
+		}
+		masks[si] = mask
+	}
+	return masks, nil
+}

@@ -1,0 +1,51 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"capnn/internal/nn"
+)
+
+// Client requests personalized models from a cloud server.
+type Client struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Timeout bounds the whole request (dial + round trip).
+	Timeout time.Duration
+}
+
+// NewClient builds a client with a 30 s timeout.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, Timeout: 30 * time.Second}
+}
+
+// Fetch sends the request and decodes the personalized model.
+func (c *Client) Fetch(req Request) (*nn.Network, Stats, error) {
+	conn, err := net.DialTimeout("tcp", c.Addr, c.Timeout)
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("cloud: dial %s: %w", c.Addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return nil, Stats{}, err
+	}
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return nil, Stats{}, fmt.Errorf("cloud: send: %w", err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, Stats{}, fmt.Errorf("cloud: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, Stats{}, fmt.Errorf("cloud: server: %s", resp.Err)
+	}
+	model, err := nn.Load(bytes.NewReader(resp.Model))
+	if err != nil {
+		return nil, Stats{}, fmt.Errorf("cloud: model payload: %w", err)
+	}
+	return model, resp.Stats, nil
+}

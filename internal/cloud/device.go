@@ -1,0 +1,117 @@
+package cloud
+
+import (
+	"fmt"
+
+	"capnn/internal/core"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+// Device models the local-device side of the paper's framework over its
+// whole lifecycle: it runs inference on its current model, keeps the
+// monitoring period going, and — when the observed class usage drifts
+// away from what the current model was personalized for — asks the cloud
+// to prune again (paper §II: "the network can be pruned again if the
+// user's preferences change").
+type Device struct {
+	client  *Client
+	classes int
+	variant string
+
+	model   *nn.Network
+	monitor *core.Monitor
+	current core.Preferences
+	// DriftThreshold is the total-variation distance between the
+	// monitored usage and the personalized-for usage above which
+	// Repersonalize fetches a new model. Defaults to 0.25.
+	DriftThreshold float64
+	// TopK is how many classes a repersonalization keeps. Defaults to
+	// the current preference count (or 2 before the first fetch).
+	TopK int
+}
+
+// NewDevice wraps a cloud client for a model with numClasses outputs.
+// initial is the commodity (unpersonalized) model the device starts with.
+func NewDevice(client *Client, initial *nn.Network, numClasses int, variant string) (*Device, error) {
+	mon, err := core.NewMonitor(numClasses)
+	if err != nil {
+		return nil, err
+	}
+	if initial == nil {
+		return nil, fmt.Errorf("cloud: device needs an initial model")
+	}
+	return &Device{
+		client: client, classes: numClasses, variant: variant,
+		model: initial, monitor: mon,
+		DriftThreshold: 0.25, TopK: 2,
+	}, nil
+}
+
+// Model returns the model currently deployed on the device.
+func (d *Device) Model() *nn.Network { return d.model }
+
+// Current returns the preferences the deployed model was personalized
+// for (empty before the first personalization).
+func (d *Device) Current() core.Preferences { return d.current }
+
+// Classify runs one input through the deployed model, records the
+// prediction in the monitoring period, and returns the predicted class.
+func (d *Device) Classify(x *tensor.Tensor) (int, error) {
+	logits := d.model.Forward(x)
+	if logits.Dim(1) != d.classes {
+		return 0, fmt.Errorf("cloud: model emits %d classes, device expects %d", logits.Dim(1), d.classes)
+	}
+	pred := tensor.Argmax(logits.Data()[:d.classes])
+	if err := d.monitor.Observe(pred); err != nil {
+		return 0, err
+	}
+	return pred, nil
+}
+
+// Drift returns the total-variation distance between the monitored usage
+// distribution and the usage the current model was personalized for.
+// Before any personalization it returns 1 (maximal drift) once there is
+// at least one observation.
+func (d *Device) Drift() float64 {
+	if d.monitor.Total() == 0 {
+		return 0
+	}
+	counts := d.monitor.Counts()
+	total := float64(d.monitor.Total())
+	tv := 0.0
+	for c, n := range counts {
+		observed := float64(n) / total
+		personalized := d.current.Weight(c)
+		diff := observed - personalized
+		if diff < 0 {
+			diff = -diff
+		}
+		tv += diff
+	}
+	return tv / 2
+}
+
+// Repersonalize fetches a freshly pruned model if usage drifted beyond
+// DriftThreshold (or force is set). It returns whether a new model was
+// installed.
+func (d *Device) Repersonalize(force bool) (bool, Stats, error) {
+	if !force && d.Drift() < d.DriftThreshold {
+		return false, Stats{}, nil
+	}
+	k := d.TopK
+	if d.current.K() > 0 {
+		k = d.current.K()
+	}
+	prefs, err := d.monitor.Preferences(k)
+	if err != nil {
+		return false, Stats{}, err
+	}
+	model, stats, err := d.client.Fetch(Request{Variant: d.variant, Classes: prefs.Classes, Weights: prefs.Weights})
+	if err != nil {
+		return false, Stats{}, err
+	}
+	d.model = model
+	d.current = prefs
+	return true, stats, nil
+}

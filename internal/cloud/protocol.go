@@ -1,0 +1,33 @@
+// Package cloud implements the paper's pruning process (§II, Fig. 1a):
+// the original model and its firing rates live on a cloud server; a local
+// device sends the user's preferences (class subset + usage weights, or
+// monitoring-derived counts); the cloud prunes with the requested CAP'NN
+// variant — no retraining — compacts the model, and ships it back for
+// local inference. The wire format is gob over TCP.
+package cloud
+
+// Request is what the device sends: which variant to run and the user's
+// preferences. Classes and Weights are parallel; Weights may be nil for
+// CAP'NN-B (it ignores usage) or to request uniform usage.
+type Request struct {
+	// Variant is "B", "W" or "M".
+	Variant string
+	Classes []int
+	Weights []float64
+}
+
+// Stats summarizes the pruning outcome alongside the shipped model.
+type Stats struct {
+	// RelativeSize is pruned params / original params.
+	RelativeSize float64
+	// PrunedUnits and TotalUnits count units over the prunable stages.
+	PrunedUnits, TotalUnits int
+}
+
+// Response carries either an error message or a gob-serialized compacted
+// network (nn.Save format) plus its stats.
+type Response struct {
+	Err   string
+	Model []byte
+	Stats Stats
+}

@@ -1,0 +1,152 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"capnn/internal/core"
+	"capnn/internal/nn"
+)
+
+// Server personalizes models on request. It owns a core.System (whose
+// network it mutates while pruning), so requests are serialized with a
+// mutex — matching the paper's model of a cloud service that prunes per
+// user request.
+type Server struct {
+	mu  sync.Mutex
+	sys *core.System
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+}
+
+// NewServer wraps a prepared system.
+func NewServer(sys *core.System) *Server {
+	return &Server{sys: sys}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address. Serve loops in a background goroutine until
+// Close is called.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener and waits for in-flight requests.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		_ = enc.Encode(&Response{Err: fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	resp := s.Personalize(req)
+	_ = enc.Encode(resp)
+}
+
+// Personalize executes one request against the system. Exposed so the
+// protocol can be exercised without sockets.
+func (s *Server) Personalize(req Request) *Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	variant, err := parseVariant(req.Variant)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	var prefs core.Preferences
+	if req.Weights == nil {
+		prefs = core.Uniform(req.Classes)
+	} else {
+		prefs, err = core.Weighted(req.Classes, req.Weights)
+		if err != nil {
+			return &Response{Err: err.Error()}
+		}
+	}
+	prefs.Normalize()
+	if err := prefs.Validate(s.sys.Rates.Classes); err != nil {
+		return &Response{Err: err.Error()}
+	}
+
+	masks, err := s.sys.Prune(variant, prefs)
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	net := s.sys.Net
+	net.ClearPruning()
+	origParams := net.ParamCount()
+	net.SetPruning(masks)
+	compact, err := nn.Compact(net)
+	net.ClearPruning()
+	if err != nil {
+		return &Response{Err: err.Error()}
+	}
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, compact); err != nil {
+		return &Response{Err: err.Error()}
+	}
+	st := Stats{RelativeSize: float64(compact.ParamCount()) / float64(origParams)}
+	for _, m := range masks {
+		for _, p := range m {
+			st.TotalUnits++
+			if p {
+				st.PrunedUnits++
+			}
+		}
+	}
+	return &Response{Model: buf.Bytes(), Stats: st}
+}
+
+func parseVariant(v string) (core.Variant, error) {
+	switch v {
+	case "B", "b":
+		return core.VariantB, nil
+	case "W", "w":
+		return core.VariantW, nil
+	case "M", "m":
+		return core.VariantM, nil
+	default:
+		return "", fmt.Errorf("cloud: unknown variant %q (want B, W or M)", v)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"fmt"
+
+	"capnn/internal/firing"
+)
+
+// BMatrices is the output of Algorithm 1 (CAP'NN-B offline phase): one
+// binary pruning matrix P_ℓ per prunable stage, where P[stage][n][c]
+// reports that unit n may be pruned when personalizing for class c. The
+// matrices are independent of the user's subset K and are stored in the
+// cloud; the online phase is a cheap intersection.
+type BMatrices struct {
+	Classes int
+	Stages  []int
+	// P maps stage → Units×Classes booleans, row-major by unit.
+	P map[int][]bool
+	// Units maps stage → unit count.
+	Units map[int]int
+}
+
+// At reports P_stage(n, c).
+func (b *BMatrices) At(stage, n, c int) bool {
+	return b.P[stage][n*b.Classes+c]
+}
+
+// ComputeB runs Algorithm 1: for every prunable stage (in order) and
+// every class c, descend the firing-rate threshold from TStart until
+// pruning {n : F_ℓ(n,c) < T} in this stage — together with the already
+// committed class-c prunes of earlier stages — keeps the accuracy
+// degradation of every class within ε. The evaluator's network must be
+// the profiled model; its masks are scratch state and are cleared on
+// return.
+func ComputeB(ev *SuffixEvaluator, rates *firing.Rates, params Params) (*BMatrices, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	net := ev.net
+	stages := net.Stages()
+	out := &BMatrices{Classes: rates.Classes, Stages: params.Stages, P: map[int][]bool{}, Units: map[int]int{}}
+
+	net.ClearPruning()
+	base := ev.PerClassAccuracy()
+
+	// masksFor assembles the temporary masks for class c: committed
+	// P_l(:,c) for stages before ℓ plus candidate H at ℓ.
+	masksFor := func(upTo int, c int, cand []bool) map[int][]bool {
+		m := map[int][]bool{}
+		for _, l := range params.Stages {
+			if l >= upTo {
+				break
+			}
+			units := out.Units[l]
+			mask := make([]bool, units)
+			for n := 0; n < units; n++ {
+				mask[n] = out.P[l][n*out.Classes+c]
+			}
+			m[l] = mask
+		}
+		if cand != nil {
+			m[upTo] = cand
+		}
+		return m
+	}
+
+	for _, l := range params.Stages {
+		lr := rates.Layers[l]
+		if lr == nil {
+			return nil, fmt.Errorf("core: no firing rates for stage %d", l)
+		}
+		if l >= len(stages) {
+			return nil, fmt.Errorf("core: stage %d outside network", l)
+		}
+		units := stages[l].Unit.Units()
+		if lr.Units != units {
+			return nil, fmt.Errorf("core: stage %d has %d units but rates cover %d", l, units, lr.Units)
+		}
+		out.Units[l] = units
+		P := make([]bool, units*out.Classes)
+
+		for c := 0; c < out.Classes; c++ {
+			T := params.TStart
+			var lastFailed []bool
+			for {
+				var H []bool
+				if T > 0 {
+					H = make([]bool, units)
+					score := make([]float64, units)
+					flagged := 0
+					for n := 0; n < units; n++ {
+						score[n] = lr.At(n, c)
+						if score[n] < T {
+							H[n] = true
+							flagged++
+						}
+					}
+					keepOne(H, score)
+					if flagged == 0 {
+						H = nil
+					}
+				}
+				// An empty candidate set trivially satisfies ε (earlier
+				// stages' class-c prunes were validated when committed).
+				if H == nil {
+					break
+				}
+				// Lowering T often yields the identical candidate set
+				// (rates cluster); re-evaluating it cannot succeed.
+				if sameMask(H, lastFailed) {
+					T -= params.Step
+					continue
+				}
+				net.SetPruning(masksFor(l, c, H))
+				acc := ev.PerClassAccuracy()
+				net.ClearPruning()
+				if DegradationOK(base, acc, params.Epsilon, nil) {
+					for n := 0; n < units; n++ {
+						P[n*out.Classes+c] = H[n]
+					}
+					break
+				}
+				lastFailed = H
+				T -= params.Step
+			}
+		}
+		out.P[l] = P
+	}
+	net.ClearPruning()
+	return out, nil
+}
+
+// OnlineB is CAP'NN-B's run-time step: the pruned set for user classes K
+// is the intersection ∩_{c∈K} P_ℓ(:,c) at every stage — a unit is pruned
+// only if it is prunable for every class the user cares about. Because
+// each per-class column guarantees ≤ ε degradation for all classes, so
+// does the (smaller) intersection.
+func OnlineB(b *BMatrices, K []int) (map[int][]bool, error) {
+	if len(K) == 0 {
+		return nil, fmt.Errorf("core: empty class subset")
+	}
+	for _, c := range K {
+		if c < 0 || c >= b.Classes {
+			return nil, fmt.Errorf("core: class %d outside [0,%d)", c, b.Classes)
+		}
+	}
+	masks := map[int][]bool{}
+	for _, l := range b.Stages {
+		units := b.Units[l]
+		mask := make([]bool, units)
+		for n := 0; n < units; n++ {
+			prune := true
+			for _, c := range K {
+				if !b.P[l][n*b.Classes+c] {
+					prune = false
+					break
+				}
+			}
+			mask[n] = prune
+		}
+		masks[l] = mask
+	}
+	return masks, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+
+	"capnn/internal/data"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+	"capnn/internal/train"
+)
+
+// ConfusionMatrix holds, for each user class k ∈ K, the fraction of
+// class-k profiling inputs for which each output class was the top-1
+// prediction — the |K|×|C| matrix of paper §III-C step 1.
+type ConfusionMatrix struct {
+	K       []int
+	Classes int
+	// Rows[i][c] is the trigger fraction of class c on inputs of K[i].
+	Rows [][]float64
+}
+
+// ComputeConfusion runs the (unpruned) network over the profiling set's
+// images of the classes in K and tallies prediction fractions.
+func ComputeConfusion(net *nn.Network, profile *data.Dataset, K []int) (*ConfusionMatrix, error) {
+	if len(K) == 0 {
+		return nil, fmt.Errorf("core: empty class subset")
+	}
+	cm := &ConfusionMatrix{K: append([]int(nil), K...), Classes: profile.Classes, Rows: make([][]float64, len(K))}
+	byClass := profile.ByClass()
+	for i, k := range K {
+		if k < 0 || k >= profile.Classes {
+			return nil, fmt.Errorf("core: class %d outside [0,%d)", k, profile.Classes)
+		}
+		idx := byClass[k]
+		if len(idx) == 0 {
+			return nil, fmt.Errorf("core: profiling set has no samples of class %d", k)
+		}
+		sub := profile.Subset(idx)
+		preds := train.Predict(net, sub)
+		row := make([]float64, profile.Classes)
+		for _, p := range preds {
+			row[p] += 1.0 / float64(len(preds))
+		}
+		cm.Rows[i] = row
+	}
+	return cm, nil
+}
+
+// TopConfusing returns the topN classes c ≠ k most frequently triggered
+// by inputs of class k (paper §III-C uses top-5, tied to the top-5
+// accuracy metric). Classes never triggered are still eligible but rank
+// last; ties break toward lower class indices.
+func (cm *ConfusionMatrix) TopConfusing(k int, topN int) ([]int, error) {
+	ki := -1
+	for i, c := range cm.K {
+		if c == k {
+			ki = i
+			break
+		}
+	}
+	if ki < 0 {
+		return nil, fmt.Errorf("core: class %d not in confusion matrix", k)
+	}
+	row := append([]float64(nil), cm.Rows[ki]...)
+	row[k] = -1 // exclude k itself
+	order := tensor.ArgTopK(row, topN+1)
+	var out []int
+	for _, c := range order {
+		if c == k {
+			continue
+		}
+		out = append(out, c)
+		if len(out) == topN {
+			break
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"capnn/internal/data"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+// SuffixEvaluator measures per-class accuracy of a (possibly masked)
+// network cheaply. CAP'NN only prunes the last layers of the network, so
+// the activations entering the first prunable layer never change across
+// pruning candidates; the evaluator computes them once and replays only
+// the suffix for every ε check in Algorithms 1–2. On the reference model
+// this turns each check from a full 16-layer pass into a 6-layer pass
+// over tiny 2×2 feature maps.
+type SuffixEvaluator struct {
+	net     *nn.Network
+	suffix  []nn.Layer // net.Layers[split:]
+	classes int
+
+	cached *tensor.Tensor // all eval images' activations at the split
+	labels []int
+	perCls []int
+}
+
+const suffixBatch = 64
+
+// NewSuffixEvaluator caches activations of ds at the input of the unit
+// layer with stage index firstPrunable. The returned evaluator shares the
+// network: callers mutate masks on net and then call PerClassAccuracy.
+func NewSuffixEvaluator(net *nn.Network, ds *data.Dataset, firstPrunable int) (*SuffixEvaluator, error) {
+	stages := net.Stages()
+	if firstPrunable < 0 || firstPrunable >= len(stages) {
+		return nil, fmt.Errorf("core: stage %d outside [0,%d)", firstPrunable, len(stages))
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("core: empty evaluation set")
+	}
+	// Locate the unit layer within net.Layers.
+	split := -1
+	unitSeen := 0
+	for i, l := range net.Layers {
+		if _, ok := l.(nn.UnitLayer); ok {
+			if unitSeen == firstPrunable {
+				split = i
+				break
+			}
+			unitSeen++
+		}
+	}
+	if split < 0 {
+		return nil, fmt.Errorf("core: could not locate stage %d", firstPrunable)
+	}
+	for _, l := range net.Layers[:split] {
+		if u, ok := l.(nn.UnitLayer); ok && u.Pruned() != nil {
+			for _, p := range u.Pruned() {
+				if p {
+					return nil, fmt.Errorf("core: prefix layer %s carries a prune mask; suffix caching would be unsound", l.Name())
+				}
+			}
+		}
+	}
+
+	ev := &SuffixEvaluator{net: net, suffix: net.Layers[split:], classes: ds.Classes, perCls: make([]int, ds.Classes)}
+	// Run the prefix once over the whole set.
+	perShape := net.Layers[split].InShape()
+	cachedShape := append([]int{ds.Len()}, perShape...)
+	ev.cached = tensor.New(cachedShape...)
+	ev.labels = make([]int, 0, ds.Len())
+	off := 0
+	for start := 0; start < ds.Len(); start += suffixBatch {
+		end := start + suffixBatch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Batch(idx)
+		for _, l := range net.Layers[:split] {
+			x = l.Forward(x)
+		}
+		copy(ev.cached.Data()[off:off+x.Len()], x.Data())
+		off += x.Len()
+		ev.labels = append(ev.labels, labels...)
+	}
+	for _, l := range ev.labels {
+		ev.perCls[l]++
+	}
+	return ev, nil
+}
+
+// Classes returns the class count of the evaluation set.
+func (ev *SuffixEvaluator) Classes() int { return ev.classes }
+
+// SampleCount returns how many eval images exist for class c.
+func (ev *SuffixEvaluator) SampleCount(c int) int { return ev.perCls[c] }
+
+// PerClassAccuracy replays the suffix under the network's current prune
+// masks and returns top-1 accuracy per class. Classes with no samples
+// report 0.
+func (ev *SuffixEvaluator) PerClassAccuracy() []float64 {
+	hits := make([]int, ev.classes)
+	n := len(ev.labels)
+	shape := ev.cached.Shape()
+	per := 1
+	for _, d := range shape[1:] {
+		per *= d
+	}
+	for start := 0; start < n; start += suffixBatch {
+		end := start + suffixBatch
+		if end > n {
+			end = n
+		}
+		bshape := append([]int{end - start}, shape[1:]...)
+		x := tensor.MustFromSlice(ev.cached.Data()[start*per:end*per], bshape...)
+		for _, l := range ev.suffix {
+			x = l.Forward(x)
+		}
+		c := x.Dim(1)
+		for s := 0; s < end-start; s++ {
+			pred := tensor.Argmax(x.Data()[s*c : (s+1)*c])
+			if pred == ev.labels[start+s] {
+				hits[ev.labels[start+s]]++
+			}
+		}
+	}
+	acc := make([]float64, ev.classes)
+	for c := range acc {
+		if ev.perCls[c] > 0 {
+			acc[c] = float64(hits[c]) / float64(ev.perCls[c])
+		}
+	}
+	return acc
+}
+
+// DegradationOK reports whether pruned accuracy stays within eps of the
+// baseline for every class in check (nil = all classes with samples).
+// Degradation is max(0, base − acc): improvements never violate ε.
+func DegradationOK(base, acc []float64, eps float64, check []int) bool {
+	if check == nil {
+		for c := range base {
+			if base[c]-acc[c] > eps {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range check {
+		if base[c]-acc[c] > eps {
+			return false
+		}
+	}
+	return true
+}

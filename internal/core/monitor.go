@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+
+	"capnn/internal/tensor"
+)
+
+// Monitor implements the paper's dedicated monitoring period (§II): the
+// device tracks the network's predictions for a while, and the most
+// frequently observed classes with their empirical usage become the
+// user's preferences.
+type Monitor struct {
+	counts []int
+	total  int
+}
+
+// NewMonitor creates a monitor over numClasses output classes.
+func NewMonitor(numClasses int) (*Monitor, error) {
+	if numClasses < 2 {
+		return nil, fmt.Errorf("core: monitor needs ≥2 classes, got %d", numClasses)
+	}
+	return &Monitor{counts: make([]int, numClasses)}, nil
+}
+
+// Observe records one top-1 prediction.
+func (m *Monitor) Observe(pred int) error {
+	if pred < 0 || pred >= len(m.counts) {
+		return fmt.Errorf("core: prediction %d outside [0,%d)", pred, len(m.counts))
+	}
+	m.counts[pred]++
+	m.total++
+	return nil
+}
+
+// Total returns the number of observations so far.
+func (m *Monitor) Total() int { return m.total }
+
+// Counts returns a copy of the per-class observation counts.
+func (m *Monitor) Counts() []int { return append([]int(nil), m.counts...) }
+
+// Preferences derives the user's top-k classes and usage weights from the
+// observations. Classes observed zero times are never included, so the
+// result may have fewer than k classes.
+func (m *Monitor) Preferences(k int) (Preferences, error) {
+	if m.total == 0 {
+		return Preferences{}, fmt.Errorf("core: monitor has no observations")
+	}
+	if k < 1 {
+		return Preferences{}, fmt.Errorf("core: k=%d", k)
+	}
+	vals := make([]float64, len(m.counts))
+	for i, c := range m.counts {
+		vals[i] = float64(c)
+	}
+	top := tensor.ArgTopK(vals, k)
+	var classes []int
+	var weights []float64
+	for _, c := range top {
+		if m.counts[c] == 0 {
+			break // ArgTopK is descending; the rest are zero too
+		}
+		classes = append(classes, c)
+		weights = append(weights, float64(m.counts[c]))
+	}
+	p, err := Weighted(classes, weights)
+	if err != nil {
+		return Preferences{}, err
+	}
+	p.Normalize()
+	return p, nil
+}

@@ -1,0 +1,122 @@
+// Package core implements the paper's contribution: the three class-aware
+// pruning algorithms (CAP'NN-B, CAP'NN-W, CAP'NN-M), the user-preference
+// model they consume, the on-device monitoring period that can derive
+// those preferences, and the fast suffix evaluator that makes the
+// ε-degradation checks of Algorithms 1–2 cheap.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Preferences captures what the cloud receives from a user before pruning
+// (paper §II "Pruning Process"): the subset K of output classes the user
+// expects to encounter and, for CAP'NN-W/M, a usage weight per class.
+type Preferences struct {
+	// Classes lists the user's classes (distinct, ascending after
+	// Normalize).
+	Classes []int
+	// Weights holds one usage likelihood per entry of Classes; they sum
+	// to 1 (paper §III-B: "For a single user, these weights add to 1").
+	Weights []float64
+}
+
+// Uniform builds preferences with equal usage over the given classes.
+func Uniform(classes []int) Preferences {
+	w := make([]float64, len(classes))
+	for i := range w {
+		w[i] = 1.0 / float64(len(classes))
+	}
+	return Preferences{Classes: append([]int(nil), classes...), Weights: w}
+}
+
+// Weighted builds preferences from parallel class/weight slices,
+// normalizing the weights to sum to 1.
+func Weighted(classes []int, weights []float64) (Preferences, error) {
+	if len(classes) != len(weights) {
+		return Preferences{}, fmt.Errorf("core: %d classes but %d weights", len(classes), len(weights))
+	}
+	p := Preferences{Classes: append([]int(nil), classes...), Weights: append([]float64(nil), weights...)}
+	sum := 0.0
+	for _, w := range p.Weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return Preferences{}, fmt.Errorf("core: invalid weight %v", w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return Preferences{}, fmt.Errorf("core: weights sum to %v", sum)
+	}
+	for i := range p.Weights {
+		p.Weights[i] /= sum
+	}
+	return p, nil
+}
+
+// Validate checks the preferences against a model with numClasses outputs.
+func (p Preferences) Validate(numClasses int) error {
+	if len(p.Classes) == 0 {
+		return fmt.Errorf("core: empty class subset")
+	}
+	if len(p.Classes) != len(p.Weights) {
+		return fmt.Errorf("core: %d classes but %d weights", len(p.Classes), len(p.Weights))
+	}
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, c := range p.Classes {
+		if c < 0 || c >= numClasses {
+			return fmt.Errorf("core: class %d outside [0,%d)", c, numClasses)
+		}
+		if seen[c] {
+			return fmt.Errorf("core: duplicate class %d", c)
+		}
+		seen[c] = true
+		if p.Weights[i] < 0 {
+			return fmt.Errorf("core: negative weight %v for class %d", p.Weights[i], c)
+		}
+		sum += p.Weights[i]
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("core: weights sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Normalize sorts classes ascending (carrying weights along) and rescales
+// weights to sum to exactly 1.
+func (p *Preferences) Normalize() {
+	type pair struct {
+		c int
+		w float64
+	}
+	ps := make([]pair, len(p.Classes))
+	for i := range ps {
+		ps[i] = pair{p.Classes[i], p.Weights[i]}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].c < ps[j].c })
+	sum := 0.0
+	for _, x := range ps {
+		sum += x.w
+	}
+	for i, x := range ps {
+		p.Classes[i] = x.c
+		if sum > 0 {
+			p.Weights[i] = x.w / sum
+		}
+	}
+}
+
+// Weight returns the usage weight of class c (0 if c ∉ K).
+func (p Preferences) Weight(c int) float64 {
+	for i, pc := range p.Classes {
+		if pc == c {
+			return p.Weights[i]
+		}
+	}
+	return 0
+}
+
+// K returns |K|, the number of user classes.
+func (p Preferences) K() int { return len(p.Classes) }

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformPreferences(t *testing.T) {
+	p := Uniform([]int{3, 1, 4})
+	if err := p.Validate(6); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range p.Weights {
+		if math.Abs(w-1.0/3) > 1e-12 {
+			t.Fatalf("weights %v not uniform", p.Weights)
+		}
+	}
+	if p.K() != 3 {
+		t.Fatalf("K = %d", p.K())
+	}
+}
+
+func TestWeightedNormalizesSum(t *testing.T) {
+	p, err := Weighted([]int{0, 1}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Weights[0]-0.75) > 1e-12 || math.Abs(p.Weights[1]-0.25) > 1e-12 {
+		t.Fatalf("weights %v", p.Weights)
+	}
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRejectsBadInput(t *testing.T) {
+	if _, err := Weighted([]int{0}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := Weighted([]int{0}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := Weighted([]int{0, 1}, []float64{0, 0}); err == nil {
+		t.Fatal("zero-sum weights accepted")
+	}
+	if _, err := Weighted([]int{0}, []float64{math.NaN()}); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	cases := []Preferences{
+		{},
+		{Classes: []int{0, 0}, Weights: []float64{0.5, 0.5}},
+		{Classes: []int{9}, Weights: []float64{1}},
+		{Classes: []int{-1}, Weights: []float64{1}},
+		{Classes: []int{0, 1}, Weights: []float64{0.5, 0.6}},
+		{Classes: []int{0}, Weights: []float64{1, 0}},
+	}
+	for i, p := range cases {
+		if err := p.Validate(5); err == nil {
+			t.Errorf("case %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestNormalizeSortsAndRescales(t *testing.T) {
+	p := Preferences{Classes: []int{5, 2, 9}, Weights: []float64{2, 1, 1}}
+	p.Normalize()
+	if p.Classes[0] != 2 || p.Classes[1] != 5 || p.Classes[2] != 9 {
+		t.Fatalf("classes %v not sorted", p.Classes)
+	}
+	// Weight 2 followed class 5 to position 1.
+	if math.Abs(p.Weights[1]-0.5) > 1e-12 {
+		t.Fatalf("weights %v lost pairing", p.Weights)
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightLookup(t *testing.T) {
+	p, _ := Weighted([]int{4, 7}, []float64{0.9, 0.1})
+	if p.Weight(4) != 0.9 {
+		t.Fatalf("Weight(4) = %v", p.Weight(4))
+	}
+	if p.Weight(5) != 0 {
+		t.Fatalf("Weight(5) = %v, want 0 for class outside K", p.Weight(5))
+	}
+}
+
+func TestMonitorDerivesPreferences(t *testing.T) {
+	m, err := NewMonitor(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6× class 2, 3× class 0, 1× class 4.
+	for i := 0; i < 6; i++ {
+		if err := m.Observe(2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		m.Observe(0)
+	}
+	m.Observe(4)
+	if m.Total() != 10 {
+		t.Fatalf("Total = %d", m.Total())
+	}
+	p, err := m.Preferences(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 2 {
+		t.Fatalf("K = %d, want 2", p.K())
+	}
+	// Classes are sorted after Normalize: {0, 2} with weights {1/3, 2/3}.
+	if p.Classes[0] != 0 || p.Classes[1] != 2 {
+		t.Fatalf("classes %v", p.Classes)
+	}
+	if math.Abs(p.Weights[1]-2.0/3) > 1e-9 {
+		t.Fatalf("weights %v", p.Weights)
+	}
+}
+
+func TestMonitorSkipsUnseenClasses(t *testing.T) {
+	m, _ := NewMonitor(4)
+	m.Observe(1)
+	p, err := m.Preferences(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 1 || p.Classes[0] != 1 {
+		t.Fatalf("prefs %+v, want only class 1", p)
+	}
+}
+
+func TestMonitorErrors(t *testing.T) {
+	if _, err := NewMonitor(1); err == nil {
+		t.Fatal("1-class monitor accepted")
+	}
+	m, _ := NewMonitor(3)
+	if err := m.Observe(7); err == nil {
+		t.Fatal("out-of-range observation accepted")
+	}
+	if _, err := m.Preferences(2); err == nil {
+		t.Fatal("empty monitor produced preferences")
+	}
+	m.Observe(0)
+	if _, err := m.Preferences(0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestMonitorCountsCopy(t *testing.T) {
+	m, _ := NewMonitor(3)
+	m.Observe(1)
+	c := m.Counts()
+	c[1] = 99
+	if m.Counts()[1] != 1 {
+		t.Fatal("Counts returned live slice")
+	}
+}
+
+// Property: Weighted always produces weights that sum to 1 for any
+// positive input weights.
+func TestWeightedNormalizationProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 10 {
+			return true
+		}
+		classes := make([]int, len(raw))
+		weights := make([]float64, len(raw))
+		sum := 0.0
+		for i, r := range raw {
+			classes[i] = i
+			weights[i] = float64(r) + 1 // positive
+			sum += weights[i]
+		}
+		p, err := Weighted(classes, weights)
+		if err != nil {
+			return false
+		}
+		got := 0.0
+		for _, w := range p.Weights {
+			got += w
+		}
+		if math.Abs(got-1) > 1e-9 {
+			return false
+		}
+		// Proportions preserved.
+		for i := range weights {
+			if math.Abs(p.Weights[i]-weights[i]/sum) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Normalize is idempotent.
+func TestNormalizeIdempotentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		perm := rng.Perm(20)[:n]
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		p, err := Weighted(perm, w)
+		if err != nil {
+			return false
+		}
+		p.Normalize()
+		once := append([]float64(nil), p.Weights...)
+		onceC := append([]int(nil), p.Classes...)
+		p.Normalize()
+		for i := range once {
+			// Weights may move by an ulp when re-dividing by a sum that
+			// is 1 only up to rounding; classes must be bit-identical.
+			if math.Abs(p.Weights[i]-once[i]) > 1e-12 || p.Classes[i] != onceC[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"capnn/internal/nn"
+)
+
+// WriteReport renders a human-readable summary of a pruning result: the
+// per-stage unit counts, the overall size reduction, and the accuracy
+// delta on the user's classes.
+func WriteReport(w io.Writer, net *nn.Network, res Result) {
+	fmt.Fprintf(w, "%s personalization for classes %v\n", res.Variant, res.Prefs.Classes)
+	fmt.Fprintf(w, "%-10s %8s %8s %8s\n", "stage", "units", "pruned", "kept")
+	fmt.Fprintln(w, strings.Repeat("-", 38))
+	stages := net.Stages()
+	var keys []int
+	for s := range res.Masks {
+		keys = append(keys, s)
+	}
+	sort.Ints(keys)
+	for _, s := range keys {
+		mask := res.Masks[s]
+		pruned := 0
+		for _, p := range mask {
+			if p {
+				pruned++
+			}
+		}
+		name := fmt.Sprintf("stage%d", s)
+		if s < len(stages) {
+			name = stages[s].Unit.Name()
+		}
+		fmt.Fprintf(w, "%-10s %8d %8d %8d\n", name, len(mask), pruned, len(mask)-pruned)
+	}
+	fmt.Fprintf(w, "model size %.1f%% of original (%d/%d units pruned)\n",
+		100*res.RelativeSize, res.PrunedUnits, res.TotalUnits)
+	fmt.Fprintf(w, "user-classes top-1 %.3f (unpruned %.3f), top-5 %.3f (unpruned %.3f)\n",
+		res.Top1, res.BaseTop1, res.Top5, res.BaseTop5)
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"capnn/internal/data"
+	"capnn/internal/firing"
+	"capnn/internal/nn"
+	"capnn/internal/train"
+)
+
+// Variant names one of the paper's three pruning schemes.
+type Variant string
+
+const (
+	VariantB Variant = "CAP'NN-B"
+	VariantW Variant = "CAP'NN-W"
+	VariantM Variant = "CAP'NN-M"
+)
+
+// System bundles a trained network with everything CAP'NN keeps in the
+// cloud: its firing-rate matrices, the validation evaluator used for
+// ε checks, the Algorithm 1 matrices (computed lazily, reused across
+// users), and the profiling set for confusion analysis. It is the
+// entry point the facade and the cloud server build on.
+type System struct {
+	Net    *nn.Network
+	Rates  *firing.Rates
+	Params Params
+	Eval   *SuffixEvaluator
+
+	profile *data.Dataset
+	b       *BMatrices
+}
+
+// NewSystem profiles net (if rates is nil) and prepares the suffix
+// evaluator over valSet. params.Stages defaults to the paper's
+// last-6-layers rule when nil.
+func NewSystem(net *nn.Network, valSet, profileSet *data.Dataset, rates *firing.Rates, params Params) (*System, error) {
+	if params.Stages == nil {
+		params.Stages = firing.PrunableStages(net)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	net.ClearPruning()
+	if rates == nil {
+		var err error
+		rates, err = firing.Compute(net, profileSet, params.Stages)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ev, err := NewSuffixEvaluator(net, valSet, params.Stages[0])
+	if err != nil {
+		return nil, err
+	}
+	return &System{Net: net, Rates: rates, Params: params, Eval: ev, profile: profileSet}, nil
+}
+
+// BMatrices returns Algorithm 1's per-class pruning matrices, computing
+// and caching them on first use (the paper's offline phase).
+func (s *System) BMatrices() (*BMatrices, error) {
+	if s.b == nil {
+		b, err := ComputeB(s.Eval, s.Rates, s.Params)
+		if err != nil {
+			return nil, err
+		}
+		s.b = b
+	}
+	return s.b, nil
+}
+
+// SetBMatrices installs precomputed Algorithm 1 matrices (for example
+// loaded from a disk cache) so BMatrices does not recompute them.
+func (s *System) SetBMatrices(b *BMatrices) { s.b = b }
+
+// Prune runs the requested variant for the given preferences and returns
+// the per-stage masks. The network is left unmasked.
+func (s *System) Prune(v Variant, prefs Preferences) (map[int][]bool, error) {
+	if err := prefs.Validate(s.Rates.Classes); err != nil {
+		return nil, err
+	}
+	switch v {
+	case VariantB:
+		b, err := s.BMatrices()
+		if err != nil {
+			return nil, err
+		}
+		return OnlineB(b, prefs.Classes)
+	case VariantW:
+		return PruneW(s.Eval, s.Rates, prefs, s.Params)
+	case VariantM:
+		rep, err := PruneM(s.Eval, s.Rates, prefs, s.Params, s.profile)
+		if err != nil {
+			return nil, err
+		}
+		return rep.Masks, nil
+	default:
+		return nil, fmt.Errorf("core: unknown variant %q", v)
+	}
+}
+
+// Result reports what a pruning run achieved, measured on a test set.
+type Result struct {
+	Variant Variant
+	Prefs   Preferences
+	Masks   map[int][]bool
+	// RelativeSize is pruned params / original params (paper Fig. 4).
+	RelativeSize float64
+	// PrunedUnits / TotalUnits count units across the prunable stages.
+	PrunedUnits, TotalUnits int
+	// Top1/Top5 are mean per-class accuracies over the user classes of
+	// the pruned model; BaseTop1/BaseTop5 are the unpruned reference.
+	Top1, Top5, BaseTop1, BaseTop5 float64
+}
+
+// Measure applies masks to net, compacts it to count unique parameters,
+// and evaluates pruned-vs-original accuracy over the user's classes on
+// testSet. The network is restored to its unmasked state before return.
+func Measure(net *nn.Network, v Variant, prefs Preferences, masks map[int][]bool, testSet *data.Dataset) (Result, error) {
+	res := Result{Variant: v, Prefs: prefs, Masks: masks}
+	sub := testSet.FilterClasses(prefs.Classes)
+	if sub.Len() == 0 {
+		return res, fmt.Errorf("core: test set has no samples of the user classes")
+	}
+
+	net.ClearPruning()
+	baseEval := train.Evaluate(net, sub)
+	res.BaseTop1 = train.MeanAccuracyOver(baseEval, prefs.Classes)
+	res.BaseTop5 = train.MeanTop5Over(baseEval, prefs.Classes)
+	origParams := net.ParamCount()
+
+	net.SetPruning(masks)
+	prunedEval := train.Evaluate(net, sub)
+	res.Top1 = train.MeanAccuracyOver(prunedEval, prefs.Classes)
+	res.Top5 = train.MeanTop5Over(prunedEval, prefs.Classes)
+
+	compact, err := nn.Compact(net)
+	net.ClearPruning()
+	if err != nil {
+		return res, err
+	}
+	res.RelativeSize = float64(compact.ParamCount()) / float64(origParams)
+
+	for _, m := range masks {
+		for _, p := range m {
+			res.TotalUnits++
+			if p {
+				res.PrunedUnits++
+			}
+		}
+	}
+	return res, nil
+}
+
+// Personalize is the end-to-end convenience: prune with the given variant
+// and measure on testSet.
+func (s *System) Personalize(v Variant, prefs Preferences, testSet *data.Dataset) (Result, error) {
+	masks, err := s.Prune(v, prefs)
+	if err != nil {
+		return Result{}, err
+	}
+	return Measure(s.Net, v, prefs, masks, testSet)
+}

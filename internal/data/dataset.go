@@ -1,0 +1,108 @@
+// Package data provides the labeled image datasets used to train and
+// profile the CAP'NN reference models. Because ImageNet/CIFAR and a mature
+// DL framework are unavailable in this offline, stdlib-only build, the
+// package generates deterministic synthetic datasets whose classes have
+// smooth prototype patterns organized into confusion groups — enough
+// structure for a CNN to genuinely learn class-selective features and for
+// class pairs to be confusable, which is what CAP'NN's algorithms consume
+// (see DESIGN.md §1).
+package data
+
+import (
+	"fmt"
+
+	"capnn/internal/tensor"
+)
+
+// Dataset is a labeled set of fixed-size images stored contiguously.
+type Dataset struct {
+	// C, H, W are the per-image channel count and spatial dimensions.
+	C, H, W int
+	// Classes is the number of distinct labels.
+	Classes int
+	// Images holds Len() images of C*H*W float64s each.
+	Images []float64
+	// Labels holds one class index per image.
+	Labels []int
+}
+
+// Len returns the number of images.
+func (d *Dataset) Len() int { return len(d.Labels) }
+
+// ImageSize returns C*H*W.
+func (d *Dataset) ImageSize() int { return d.C * d.H * d.W }
+
+// Image returns a view of image i's pixels.
+func (d *Dataset) Image(i int) []float64 {
+	sz := d.ImageSize()
+	return d.Images[i*sz : (i+1)*sz]
+}
+
+// Batch assembles the images at the given indices into an [N, C, H, W]
+// tensor plus the matching label slice.
+func (d *Dataset) Batch(indices []int) (*tensor.Tensor, []int) {
+	sz := d.ImageSize()
+	x := tensor.New(len(indices), d.C, d.H, d.W)
+	labels := make([]int, len(indices))
+	for b, idx := range indices {
+		copy(x.Data()[b*sz:(b+1)*sz], d.Image(idx))
+		labels[b] = d.Labels[idx]
+	}
+	return x, labels
+}
+
+// ByClass returns, for each class, the indices of its images in order.
+func (d *Dataset) ByClass() [][]int {
+	per := make([][]int, d.Classes)
+	for i, l := range d.Labels {
+		per[l] = append(per[l], i)
+	}
+	return per
+}
+
+// Subset copies the images at the given indices into a new dataset with
+// the same class space.
+func (d *Dataset) Subset(indices []int) *Dataset {
+	sz := d.ImageSize()
+	out := &Dataset{C: d.C, H: d.H, W: d.W, Classes: d.Classes,
+		Images: make([]float64, 0, len(indices)*sz),
+		Labels: make([]int, 0, len(indices))}
+	for _, idx := range indices {
+		out.Images = append(out.Images, d.Image(idx)...)
+		out.Labels = append(out.Labels, d.Labels[idx])
+	}
+	return out
+}
+
+// FilterClasses copies only the images whose label is in keep (a set of
+// class indices). Labels are preserved (not re-indexed): CAP'NN evaluates
+// user-subset inputs against the full C-way output layer.
+func (d *Dataset) FilterClasses(keep []int) *Dataset {
+	in := make(map[int]bool, len(keep))
+	for _, k := range keep {
+		in[k] = true
+	}
+	var idx []int
+	for i, l := range d.Labels {
+		if in[l] {
+			idx = append(idx, i)
+		}
+	}
+	return d.Subset(idx)
+}
+
+// Validate checks internal consistency.
+func (d *Dataset) Validate() error {
+	if d.C <= 0 || d.H <= 0 || d.W <= 0 || d.Classes <= 0 {
+		return fmt.Errorf("data: bad dims C=%d H=%d W=%d classes=%d", d.C, d.H, d.W, d.Classes)
+	}
+	if len(d.Images) != len(d.Labels)*d.ImageSize() {
+		return fmt.Errorf("data: %d labels but %d pixel values (want %d)", len(d.Labels), len(d.Images), len(d.Labels)*d.ImageSize())
+	}
+	for i, l := range d.Labels {
+		if l < 0 || l >= d.Classes {
+			return fmt.Errorf("data: label %d of image %d outside [0,%d)", l, i, d.Classes)
+		}
+	}
+	return nil
+}

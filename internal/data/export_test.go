@@ -1,0 +1,12 @@
+package data
+
+import (
+	"encoding/gob"
+	"io"
+)
+
+// encodeRaw bypasses Save's validation for tests that need to construct
+// corrupt payloads.
+func encodeRaw(w io.Writer, d *Dataset) error {
+	return gob.NewEncoder(w).Encode(d)
+}

@@ -1,0 +1,80 @@
+package data
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Save writes the dataset with gob framing.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return gob.NewEncoder(w).Encode(d)
+}
+
+// LoadDataset reads a dataset written by Save and validates it.
+func LoadDataset(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("data: decode: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// SaveFile / LoadDatasetFile are the path variants.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadDatasetFile reads a dataset from path.
+func LoadDatasetFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadDataset(f)
+}
+
+// GenerateCounts produces counts[c] samples for each class c — the
+// imbalanced variant of Generate, for workloads where the monitoring
+// period should observe skewed traffic. len(counts) must equal the
+// generator's class count.
+func (g *Generator) GenerateCounts(counts []int, setSeed int64) (*Dataset, error) {
+	cfg := g.cfg
+	if len(counts) != cfg.Classes {
+		return nil, fmt.Errorf("data: %d counts for %d classes", len(counts), cfg.Classes)
+	}
+	total := 0
+	for c, n := range counts {
+		if n < 0 {
+			return nil, fmt.Errorf("data: negative count %d for class %d", n, c)
+		}
+		total += n
+	}
+	rng := newSetRNG(cfg.Seed, setSeed)
+	ds := &Dataset{C: 1, H: cfg.H, W: cfg.W, Classes: cfg.Classes,
+		Images: make([]float64, 0, total*cfg.H*cfg.W),
+		Labels: make([]int, 0, total)}
+	for c, n := range counts {
+		for s := 0; s < n; s++ {
+			ds.Images = append(ds.Images, g.sample(rng, c)...)
+			ds.Labels = append(ds.Labels, c)
+		}
+	}
+	return ds, nil
+}

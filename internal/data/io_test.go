@@ -1,0 +1,90 @@
+package data
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestDatasetSaveLoadRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(DefaultSynthConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(2, 5)
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() || loaded.Classes != ds.Classes {
+		t.Fatalf("round trip changed dims: %d/%d", loaded.Len(), loaded.Classes)
+	}
+	for i, v := range ds.Images {
+		if loaded.Images[i] != v {
+			t.Fatal("pixels changed")
+		}
+	}
+}
+
+func TestLoadDatasetRejectsInvalid(t *testing.T) {
+	if _, err := LoadDataset(bytes.NewReader([]byte("nope"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A structurally decodable but inconsistent dataset must be rejected.
+	bad := &Dataset{C: 1, H: 2, W: 2, Classes: 2, Images: []float64{1}, Labels: []int{0}}
+	var buf bytes.Buffer
+	// Encode directly (Save would catch it first).
+	if err := encodeRaw(&buf, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDataset(&buf); err == nil {
+		t.Fatal("inconsistent dataset accepted")
+	}
+}
+
+func TestDatasetFileRoundTrip(t *testing.T) {
+	gen, _ := NewGenerator(DefaultSynthConfig(2))
+	ds := gen.Generate(1, 1)
+	path := filepath.Join(t.TempDir(), "ds.gob")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadDatasetFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != ds.Len() {
+		t.Fatal("file round trip changed length")
+	}
+	if _, err := LoadDatasetFile(path + ".missing"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestGenerateCountsImbalance(t *testing.T) {
+	gen, _ := NewGenerator(DefaultSynthConfig(4))
+	ds, err := gen.GenerateCounts([]int{5, 0, 2, 1}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	per := ds.ByClass()
+	want := []int{5, 0, 2, 1}
+	for c, idx := range per {
+		if len(idx) != want[c] {
+			t.Fatalf("class %d has %d samples, want %d", c, len(idx), want[c])
+		}
+	}
+	if _, err := gen.GenerateCounts([]int{1, 2}, 1); err == nil {
+		t.Fatal("wrong count length accepted")
+	}
+	if _, err := gen.GenerateCounts([]int{1, -1, 0, 0}, 1); err == nil {
+		t.Fatal("negative count accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package data
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WritePGM renders image i of the dataset as a binary PGM (P5) grayscale
+// file — handy for eyeballing what the synthetic generator produces
+// without any imaging dependency. Pixel values are min-max normalized to
+// 0..255 per image. Multi-channel images export channel 0.
+func (d *Dataset) WritePGM(w io.Writer, i int) error {
+	if i < 0 || i >= d.Len() {
+		return fmt.Errorf("data: image %d outside [0,%d)", i, d.Len())
+	}
+	img := d.Image(i)[:d.H*d.W] // channel 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range img {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", d.W, d.H); err != nil {
+		return err
+	}
+	for _, v := range img {
+		if err := bw.WriteByte(byte((v - lo) * scale)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM parses a binary PGM (P5) image into pixel values scaled to
+// [0,1]. It accepts the subset of the format WritePGM emits (single
+// whitespace-separated header tokens, maxval ≤ 255).
+func ReadPGM(r io.Reader) (pixels []float64, w, h int, err error) {
+	br := bufio.NewReader(r)
+	var magic string
+	var maxval int
+	if _, err = fmt.Fscan(br, &magic, &w, &h, &maxval); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: pgm header: %w", err)
+	}
+	if magic != "P5" {
+		return nil, 0, 0, fmt.Errorf("data: not a P5 pgm: %q", magic)
+	}
+	if w <= 0 || h <= 0 || maxval <= 0 || maxval > 255 {
+		return nil, 0, 0, fmt.Errorf("data: bad pgm dimensions %dx%d maxval %d", w, h, maxval)
+	}
+	// One whitespace byte separates the header from pixel data.
+	if _, err = br.ReadByte(); err != nil {
+		return nil, 0, 0, err
+	}
+	raw := make([]byte, w*h)
+	if _, err = io.ReadFull(br, raw); err != nil {
+		return nil, 0, 0, fmt.Errorf("data: pgm pixels: %w", err)
+	}
+	pixels = make([]float64, w*h)
+	for i, b := range raw {
+		pixels[i] = float64(b) / float64(maxval)
+	}
+	return pixels, w, h, nil
+}

@@ -1,0 +1,80 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	gen, err := NewGenerator(DefaultSynthConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.Generate(1, 1)
+	var buf bytes.Buffer
+	if err := ds.WritePGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	pixels, w, h, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 32 || h != 32 || len(pixels) != 1024 {
+		t.Fatalf("round trip dims %dx%d (%d pixels)", w, h, len(pixels))
+	}
+	// Normalization: full dynamic range used.
+	lo, hi := 1.0, 0.0
+	for _, v := range pixels {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo != 0 || hi != 1 {
+		t.Fatalf("range [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestWritePGMRejectsBadIndex(t *testing.T) {
+	gen, _ := NewGenerator(DefaultSynthConfig(2))
+	ds := gen.Generate(1, 1)
+	var buf bytes.Buffer
+	if err := ds.WritePGM(&buf, 5); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"P6\n2 2\n255\n....",
+		"P5\n0 2\n255\n",
+		"P5\n2 2\n999\n....",
+		"P5\n4 4\n255\nxx", // truncated pixels
+	}
+	for i, c := range cases {
+		if _, _, _, err := ReadPGM(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestConstantImagePGM(t *testing.T) {
+	ds := &Dataset{C: 1, H: 2, W: 2, Classes: 1, Images: []float64{3, 3, 3, 3}, Labels: []int{0}}
+	var buf bytes.Buffer
+	if err := ds.WritePGM(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	pixels, _, _, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range pixels {
+		if v != 0 {
+			t.Fatalf("constant image should map to 0, got %v", v)
+		}
+	}
+}

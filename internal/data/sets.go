@@ -1,0 +1,38 @@
+package data
+
+// Sets bundles the four disjoint datasets every CAP'NN experiment needs.
+type Sets struct {
+	// Train drives SGD.
+	Train *Dataset
+	// Val is the held-out split the pruning algorithms use for their
+	// ε-degradation checks (paper Algorithms 1–2, lines "Measure accuracy
+	// degradation").
+	Val *Dataset
+	// Test reports final accuracies (Figs. 5–6, Table II).
+	Test *Dataset
+	// Profile computes class-specific firing rates and confusion
+	// matrices with an equal number of samples per class (paper §III:
+	// "we run the network using the training dataset with equal number
+	// of samples for each class"; we keep it disjoint from Train so the
+	// rates are not tied to memorized samples).
+	Profile *Dataset
+}
+
+// SetSizes gives the per-class sample counts for each split.
+type SetSizes struct {
+	TrainPerClass, ValPerClass, TestPerClass, ProfilePerClass int
+}
+
+// DefaultSetSizes is the experiment harness default, scaled for a 1-core
+// pure-Go build (the paper used 200 profiling images per class on GPUs).
+var DefaultSetSizes = SetSizes{TrainPerClass: 60, ValPerClass: 20, TestPerClass: 20, ProfilePerClass: 40}
+
+// MakeSets draws the four disjoint splits from a single generator.
+func MakeSets(gen *Generator, sz SetSizes) *Sets {
+	return &Sets{
+		Train:   gen.Generate(sz.TrainPerClass, 101),
+		Val:     gen.Generate(sz.ValPerClass, 202),
+		Test:    gen.Generate(sz.TestPerClass, 303),
+		Profile: gen.Generate(sz.ProfilePerClass, 404),
+	}
+}

@@ -1,0 +1,64 @@
+package energy
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"capnn/internal/hw"
+	"capnn/internal/nn"
+)
+
+// LayerEnergy is one layer's contribution to a network's per-inference
+// energy, split by component family.
+type LayerEnergy struct {
+	Name      string
+	ComputePJ float64 // MAC + pool + ReLU units
+	SRAMPJ    float64
+	DRAMPJ    float64
+}
+
+// TotalPJ is the layer's total energy.
+func (l LayerEnergy) TotalPJ() float64 { return l.ComputePJ + l.SRAMPJ + l.DRAMPJ }
+
+// Breakdown simulates one inference and returns per-layer energies plus
+// the total, letting callers see *where* CAP'NN's savings land (DRAM
+// traffic dominates at the paper's Table I energies).
+func Breakdown(net *nn.Network, dev hw.Config, c Components) ([]LayerEnergy, float64, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	_, perLayer, err := hw.Simulate(net, dev)
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []LayerEnergy
+	total := 0.0
+	for _, lc := range perLayer {
+		le := LayerEnergy{
+			Name: lc.Name,
+			ComputePJ: float64(lc.Counts.MACs)*(c.AddPJ+c.MulPJ) +
+				float64(lc.Counts.PoolOps)*c.MaxPoolPJ +
+				float64(lc.Counts.ReLUOps)*c.ReLUPJ,
+			SRAMPJ: float64(lc.Counts.SRAMReads+lc.Counts.SRAMWrites) * c.SRAMPJ,
+			DRAMPJ: float64(lc.Counts.DRAMReads+lc.Counts.DRAMWrites) * c.DRAMPJ,
+		}
+		out = append(out, le)
+		total += le.TotalPJ()
+	}
+	return out, total, nil
+}
+
+// PrintBreakdown renders the per-layer energy table.
+func PrintBreakdown(w io.Writer, layers []LayerEnergy, total float64) {
+	fmt.Fprintf(w, "%-12s %14s %14s %14s %8s\n", "layer", "compute (pJ)", "SRAM (pJ)", "DRAM (pJ)", "share")
+	fmt.Fprintln(w, strings.Repeat("-", 68))
+	for _, l := range layers {
+		if l.TotalPJ() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %14.0f %14.0f %14.0f %7.1f%%\n",
+			l.Name, l.ComputePJ, l.SRAMPJ, l.DRAMPJ, 100*l.TotalPJ()/total)
+	}
+	fmt.Fprintf(w, "total %.1f µJ\n", total/1e6)
+}

@@ -1,0 +1,33 @@
+package exp
+
+import (
+	"encoding/gob"
+	"os"
+
+	"capnn/internal/core"
+)
+
+func saveBMatrices(path string, b *core.BMatrices) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(b); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func loadBMatrices(path string) (*core.BMatrices, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var b core.BMatrices
+	if err := gob.NewDecoder(f).Decode(&b); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

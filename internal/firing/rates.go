@@ -1,0 +1,172 @@
+// Package firing computes the class-specific firing rates at the heart of
+// CAP'NN (paper §II–III): for every prunable unit (dense neuron or conv
+// channel) and every output class, the fraction of that class's profiling
+// inputs for which the unit fires (post-ReLU activation > 0). For conv
+// channels the rate is the mean non-zero fraction over the feature map,
+// i.e. 1 − APoZ of Hu et al. [6]. The package also provides the 3-bit
+// linear quantization and memory-overhead accounting of paper §V-C.
+package firing
+
+import (
+	"fmt"
+
+	"capnn/internal/data"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+// LayerRates holds the firing-rate matrix F_ℓ of one unit layer:
+// Units × Classes, row-major.
+type LayerRates struct {
+	// Stage is the unit-layer index within Network.Stages().
+	Stage int
+	// Units is the number of prunable units in the layer.
+	Units int
+	// Classes is the number of output classes.
+	Classes int
+	// F holds Units×Classes rates in [0,1], row-major by unit.
+	F []float64
+}
+
+// At returns F(n, c).
+func (lr *LayerRates) At(n, c int) float64 { return lr.F[n*lr.Classes+c] }
+
+// Set stores F(n, c) = v.
+func (lr *LayerRates) Set(n, c int, v float64) { lr.F[n*lr.Classes+c] = v }
+
+// Clone deep-copies the matrix.
+func (lr *LayerRates) Clone() *LayerRates {
+	c := *lr
+	c.F = append([]float64(nil), lr.F...)
+	return &c
+}
+
+// Rates is the collection of firing-rate matrices for a network's
+// profiled stages, stored in the cloud alongside the model (paper §II).
+type Rates struct {
+	Classes int
+	// Layers maps stage index → matrix for every profiled stage.
+	Layers map[int]*LayerRates
+}
+
+// Clone deep-copies all matrices (CAP'NN-M mutates a copy).
+func (r *Rates) Clone() *Rates {
+	c := &Rates{Classes: r.Classes, Layers: make(map[int]*LayerRates, len(r.Layers))}
+	for k, v := range r.Layers {
+		c.Layers[k] = v.Clone()
+	}
+	return c
+}
+
+// profileBatch is the forward batch size used while profiling.
+const profileBatch = 32
+
+// Compute profiles the network over ds and returns the firing-rate
+// matrices for the given stage indices. The dataset should contain an
+// equal number of samples per class (paper §III); classes with zero
+// samples yield zero rates. The network's current prune masks are
+// respected (masked units simply never fire), but profiling is normally
+// done on the unpruned model.
+func Compute(net *nn.Network, ds *data.Dataset, stageIdx []int) (*Rates, error) {
+	stages := net.Stages()
+	res := &Rates{Classes: ds.Classes, Layers: make(map[int]*LayerRates, len(stageIdx))}
+	type acc struct {
+		stage *nn.Stage
+		sum   []float64 // units × classes accumulated firing fractions
+	}
+	accs := make([]*acc, 0, len(stageIdx))
+	for _, si := range stageIdx {
+		if si < 0 || si >= len(stages) {
+			return nil, fmt.Errorf("firing: stage %d outside [0,%d)", si, len(stages))
+		}
+		st := stages[si]
+		if st.Act == nil {
+			return nil, fmt.Errorf("firing: stage %d (%s) has no ReLU to observe", si, st.Unit.Name())
+		}
+		a := &acc{stage: &stages[si], sum: make([]float64, st.Unit.Units()*ds.Classes)}
+		accs = append(accs, a)
+	}
+
+	// batchLabels carries the current batch's labels into the hooks.
+	var batchLabels []int
+	for _, a := range accs {
+		a := a
+		units := a.stage.Unit.Units()
+		outShape := a.stage.Unit.OutShape()
+		unitSize := 1
+		if len(outShape) == 3 {
+			unitSize = outShape[1] * outShape[2]
+		}
+		a.stage.Act.Hook = func(out *tensor.Tensor) {
+			d := out.Data()
+			n := out.Dim(0)
+			for s := 0; s < n; s++ {
+				class := batchLabels[s]
+				base := s * units * unitSize
+				for u := 0; u < units; u++ {
+					fired := 0
+					row := d[base+u*unitSize : base+(u+1)*unitSize]
+					for _, v := range row {
+						if v > 0 {
+							fired++
+						}
+					}
+					a.sum[u*ds.Classes+class] += float64(fired) / float64(unitSize)
+				}
+			}
+		}
+	}
+	defer func() {
+		for _, a := range accs {
+			a.stage.Act.Hook = nil
+		}
+	}()
+
+	perClass := make([]int, ds.Classes)
+	for start := 0; start < ds.Len(); start += profileBatch {
+		end := start + profileBatch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		var x *tensor.Tensor
+		x, batchLabels = ds.Batch(idx)
+		net.Forward(x)
+		for _, l := range batchLabels {
+			perClass[l]++
+		}
+	}
+
+	for i, a := range accs {
+		units := a.stage.Unit.Units()
+		lr := &LayerRates{Stage: stageIdx[i], Units: units, Classes: ds.Classes, F: make([]float64, units*ds.Classes)}
+		for u := 0; u < units; u++ {
+			for c := 0; c < ds.Classes; c++ {
+				if perClass[c] > 0 {
+					lr.F[u*ds.Classes+c] = a.sum[u*ds.Classes+c] / float64(perClass[c])
+				}
+			}
+		}
+		res.Layers[stageIdx[i]] = lr
+	}
+	return res, nil
+}
+
+// PrunableStages returns the paper's prunable layer set for a network:
+// the last 6 unit layers minus the output layer (which is never pruned),
+// i.e. 5 stage indices. For VGG-16 these are conv11–13, FC1 and FC2.
+func PrunableStages(net *nn.Network) []int {
+	n := len(net.Stages())
+	start := n - 6
+	if start < 0 {
+		start = 0
+	}
+	var out []int
+	for i := start; i < n-1; i++ {
+		out = append(out, i)
+	}
+	return out
+}

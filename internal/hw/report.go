@@ -1,0 +1,52 @@
+package hw
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Utilization summarizes how well one inference uses the device.
+type Utilization struct {
+	// MACUtil is achieved MACs / (cycles × MAC units): 1.0 means the MAC
+	// array never stalls on memory.
+	MACUtil float64
+	// MemoryBound lists the layers whose cycle count is set by DRAM
+	// bandwidth rather than compute — the layers CAP'NN's DRAM-traffic
+	// reduction speeds up directly.
+	MemoryBound []string
+}
+
+// Utilize computes device utilization from a simulation's outputs.
+func Utilize(total Counts, perLayer []LayerCounts, cfg Config) Utilization {
+	var u Utilization
+	if total.Cycles > 0 && cfg.MACUnits > 0 {
+		u.MACUtil = float64(total.MACs) / float64(total.Cycles*int64(cfg.MACUnits))
+	}
+	for _, lc := range perLayer {
+		if lc.Counts.MACs == 0 {
+			continue
+		}
+		compute := ceilDiv(lc.Counts.MACs, int64(cfg.MACUnits))
+		if lc.Counts.Cycles > compute {
+			u.MemoryBound = append(u.MemoryBound, lc.Name)
+		}
+	}
+	return u
+}
+
+// PrintCounts renders per-layer operation counts.
+func PrintCounts(w io.Writer, perLayer []LayerCounts, total Counts) {
+	fmt.Fprintf(w, "%-12s %12s %12s %12s %10s\n", "layer", "MACs", "SRAM r/w", "DRAM r/w", "cycles")
+	fmt.Fprintln(w, strings.Repeat("-", 64))
+	for _, lc := range perLayer {
+		c := lc.Counts
+		if c.MACs == 0 && c.ReLUOps == 0 && c.PoolOps == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %12d %12d %12d %10d\n",
+			lc.Name, c.MACs, c.SRAMReads+c.SRAMWrites, c.DRAMReads+c.DRAMWrites, c.Cycles)
+	}
+	fmt.Fprintf(w, "%-12s %12d %12d %12d %10d\n", "total",
+		total.MACs, total.SRAMReads+total.SRAMWrites, total.DRAMReads+total.DRAMWrites, total.Cycles)
+}

@@ -1,0 +1,193 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capnn/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over NCHW batches. Weights have shape
+// [outC, inC, K, K]; bias has shape [outC]. Output channels are the
+// prunable units.
+type Conv2D struct {
+	name                 string
+	inC, inH, inW        int
+	outC, k, stride, pad int
+	outH, outW           int
+
+	w, b   *Param
+	pruned []bool
+
+	lastIn *tensor.Tensor
+}
+
+// NewConv2D constructs a convolution for the given per-sample input shape
+// [inC, inH, inW]. Weights are He-initialized from rng; bias starts at 0.
+func NewConv2D(name string, inShape []int, outC, k, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	if len(inShape) != 3 {
+		return nil, fmt.Errorf("nn: conv %q needs [C,H,W] input shape, got %v", name, inShape)
+	}
+	inC, inH, inW := inShape[0], inShape[1], inShape[2]
+	if outC <= 0 || k <= 0 || stride <= 0 || pad < 0 {
+		return nil, fmt.Errorf("nn: conv %q invalid config outC=%d k=%d stride=%d pad=%d", name, outC, k, stride, pad)
+	}
+	outH := (inH+2*pad-k)/stride + 1
+	outW := (inW+2*pad-k)/stride + 1
+	if outH <= 0 || outW <= 0 {
+		return nil, fmt.Errorf("nn: conv %q produces empty output for input %v", name, inShape)
+	}
+	c := &Conv2D{
+		name: name,
+		inC:  inC, inH: inH, inW: inW,
+		outC: outC, k: k, stride: stride, pad: pad,
+		outH: outH, outW: outW,
+	}
+	c.w = &Param{Name: name + ".w", W: tensor.New(outC, inC, k, k), G: tensor.New(outC, inC, k, k)}
+	c.b = &Param{Name: name + ".b", W: tensor.New(outC), G: tensor.New(outC)}
+	c.w.W.FillHe(rng, inC*k*k)
+	return c, nil
+}
+
+func (c *Conv2D) Name() string     { return c.name }
+func (c *Conv2D) Kernel() int      { return c.k }
+func (c *Conv2D) Stride() int      { return c.stride }
+func (c *Conv2D) Pad() int         { return c.pad }
+func (c *Conv2D) InShape() []int   { return []int{c.inC, c.inH, c.inW} }
+func (c *Conv2D) OutShape() []int  { return []int{c.outC, c.outH, c.outW} }
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Weights exposes the filter tensor [outC, inC, K, K]; baselines rank
+// channels by filter norm.
+func (c *Conv2D) Weights() *tensor.Tensor { return c.w.W }
+
+// Bias exposes the bias vector [outC].
+func (c *Conv2D) Bias() *tensor.Tensor { return c.b.W }
+func (c *Conv2D) Units() int           { return c.outC }
+func (c *Conv2D) Pruned() []bool       { return c.pruned }
+
+// SetPruned installs the channel prune mask (copied; nil clears).
+func (c *Conv2D) SetPruned(pruned []bool) {
+	if pruned != nil && len(pruned) != c.outC {
+		panic(fmt.Sprintf("nn: conv %q mask length %d, want %d", c.name, len(pruned), c.outC))
+	}
+	c.pruned = copyMask(pruned)
+}
+
+// Forward computes the convolution for a batch x of shape [N, inC, inH, inW].
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	c.lastIn = x
+	out := tensor.New(n, c.outC, c.outH, c.outW)
+	xd, od := x.Data(), out.Data()
+	wd, bd := c.w.W.Data(), c.b.W.Data()
+
+	inHW := c.inH * c.inW
+	outHW := c.outH * c.outW
+	for s := 0; s < n; s++ {
+		xBase := s * c.inC * inHW
+		oBase := s * c.outC * outHW
+		for oc := 0; oc < c.outC; oc++ {
+			if c.pruned != nil && c.pruned[oc] {
+				continue // pruned channel: output stays zero
+			}
+			oRow := od[oBase+oc*outHW : oBase+(oc+1)*outHW]
+			bias := bd[oc]
+			for i := range oRow {
+				oRow[i] = bias
+			}
+			wBase := oc * c.inC * c.k * c.k
+			for ic := 0; ic < c.inC; ic++ {
+				xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
+				wCh := wd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
+				for ky := 0; ky < c.k; ky++ {
+					for kx := 0; kx < c.k; kx++ {
+						wv := wCh[ky*c.k+kx]
+						if wv == 0 {
+							continue
+						}
+						for oy := 0; oy < c.outH; oy++ {
+							iy := oy*c.stride - c.pad + ky
+							if iy < 0 || iy >= c.inH {
+								continue
+							}
+							xRow := xCh[iy*c.inW : (iy+1)*c.inW]
+							oRowY := oRow[oy*c.outW : (oy+1)*c.outW]
+							for ox := 0; ox < c.outW; ox++ {
+								ix := ox*c.stride - c.pad + kx
+								if ix < 0 || ix >= c.inW {
+									continue
+								}
+								oRowY[ox] += wv * xRow[ix]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW and dB and returns dX. grad has the output's
+// batch shape. Pruned channels are skipped entirely: a dead unit neither
+// receives nor propagates gradient.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastIn == nil {
+		panic("nn: conv Backward before Forward")
+	}
+	x := c.lastIn
+	n := x.Dim(0)
+	dx := tensor.New(n, c.inC, c.inH, c.inW)
+	xd, gd, dxd := x.Data(), grad.Data(), dx.Data()
+	wd, dwd, dbd := c.w.W.Data(), c.w.G.Data(), c.b.G.Data()
+
+	inHW := c.inH * c.inW
+	outHW := c.outH * c.outW
+	for s := 0; s < n; s++ {
+		xBase := s * c.inC * inHW
+		gBase := s * c.outC * outHW
+		for oc := 0; oc < c.outC; oc++ {
+			if c.pruned != nil && c.pruned[oc] {
+				continue
+			}
+			gRow := gd[gBase+oc*outHW : gBase+(oc+1)*outHW]
+			for _, gv := range gRow {
+				dbd[oc] += gv
+			}
+			wBase := oc * c.inC * c.k * c.k
+			for ic := 0; ic < c.inC; ic++ {
+				xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
+				dxCh := dxd[xBase+ic*inHW : xBase+(ic+1)*inHW]
+				wCh := wd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
+				dwCh := dwd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
+				for ky := 0; ky < c.k; ky++ {
+					for kx := 0; kx < c.k; kx++ {
+						wv := wCh[ky*c.k+kx]
+						dwSum := 0.0
+						for oy := 0; oy < c.outH; oy++ {
+							iy := oy*c.stride - c.pad + ky
+							if iy < 0 || iy >= c.inH {
+								continue
+							}
+							xRow := xCh[iy*c.inW : (iy+1)*c.inW]
+							dxRow := dxCh[iy*c.inW : (iy+1)*c.inW]
+							gRowY := gRow[oy*c.outW : (oy+1)*c.outW]
+							for ox := 0; ox < c.outW; ox++ {
+								ix := ox*c.stride - c.pad + kx
+								if ix < 0 || ix >= c.inW {
+									continue
+								}
+								gv := gRowY[ox]
+								dwSum += gv * xRow[ix]
+								dxRow[ix] += gv * wv
+							}
+						}
+						dwCh[ky*c.k+kx] += dwSum
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

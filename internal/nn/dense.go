@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capnn/internal/tensor"
+)
+
+// Dense is a fully-connected layer y = Wx + b with weights [out, in] and
+// bias [out]. Output neurons are the prunable units.
+type Dense struct {
+	name    string
+	in, out int
+	w, b    *Param
+	pruned  []bool
+	lastIn  *tensor.Tensor
+}
+
+// NewDense constructs a dense layer for flat per-sample input [in].
+// Weights are He-initialized from rng; bias starts at 0.
+func NewDense(name string, inShape []int, out int, rng *rand.Rand) (*Dense, error) {
+	if len(inShape) != 1 {
+		return nil, fmt.Errorf("nn: dense %q needs flat [F] input shape, got %v", name, inShape)
+	}
+	in := inShape[0]
+	if in <= 0 || out <= 0 {
+		return nil, fmt.Errorf("nn: dense %q invalid dims in=%d out=%d", name, in, out)
+	}
+	d := &Dense{name: name, in: in, out: out}
+	d.w = &Param{Name: name + ".w", W: tensor.New(out, in), G: tensor.New(out, in)}
+	d.b = &Param{Name: name + ".b", W: tensor.New(out), G: tensor.New(out)}
+	d.w.W.FillHe(rng, in)
+	return d, nil
+}
+
+func (d *Dense) Name() string     { return d.name }
+func (d *Dense) InShape() []int   { return []int{d.in} }
+func (d *Dense) OutShape() []int  { return []int{d.out} }
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+func (d *Dense) Units() int       { return d.out }
+func (d *Dense) Pruned() []bool   { return d.pruned }
+
+// Weights exposes the weight matrix [out, in]. CAP'NN-M reads it to score
+// last-layer neuron contributions (∂c_j/∂n_i = w_ji, Eq. 1 of the paper).
+func (d *Dense) Weights() *tensor.Tensor { return d.w.W }
+
+// Bias exposes the bias vector [out].
+func (d *Dense) Bias() *tensor.Tensor { return d.b.W }
+
+// SetPruned installs the neuron prune mask (copied; nil clears).
+func (d *Dense) SetPruned(pruned []bool) {
+	if pruned != nil && len(pruned) != d.out {
+		panic(fmt.Sprintf("nn: dense %q mask length %d, want %d", d.name, len(pruned), d.out))
+	}
+	d.pruned = copyMask(pruned)
+}
+
+// Forward computes the affine map for a batch x of shape [N, in].
+func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	d.lastIn = x
+	out := tensor.New(n, d.out)
+	xd, od := x.Data(), out.Data()
+	wd, bd := d.w.W.Data(), d.b.W.Data()
+	for s := 0; s < n; s++ {
+		xRow := xd[s*d.in : (s+1)*d.in]
+		oRow := od[s*d.out : (s+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			if d.pruned != nil && d.pruned[o] {
+				continue
+			}
+			wRow := wd[o*d.in : (o+1)*d.in]
+			sum := bd[o]
+			for i, xv := range xRow {
+				sum += wRow[i] * xv
+			}
+			oRow[o] = sum
+		}
+	}
+	return out
+}
+
+// Backward accumulates dW and dB and returns dX.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastIn == nil {
+		panic("nn: dense Backward before Forward")
+	}
+	x := d.lastIn
+	n := x.Dim(0)
+	dx := tensor.New(n, d.in)
+	xd, gd, dxd := x.Data(), grad.Data(), dx.Data()
+	wd, dwd, dbd := d.w.W.Data(), d.w.G.Data(), d.b.G.Data()
+	for s := 0; s < n; s++ {
+		xRow := xd[s*d.in : (s+1)*d.in]
+		gRow := gd[s*d.out : (s+1)*d.out]
+		dxRow := dxd[s*d.in : (s+1)*d.in]
+		for o := 0; o < d.out; o++ {
+			if d.pruned != nil && d.pruned[o] {
+				continue
+			}
+			gv := gRow[o]
+			if gv == 0 {
+				continue
+			}
+			dbd[o] += gv
+			wRow := wd[o*d.in : (o+1)*d.in]
+			dwRow := dwd[o*d.in : (o+1)*d.in]
+			for i, xv := range xRow {
+				dwRow[i] += gv * xv
+				dxRow[i] += gv * wRow[i]
+			}
+		}
+	}
+	return dx
+}

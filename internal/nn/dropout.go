@@ -1,0 +1,97 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"capnn/internal/tensor"
+)
+
+// Dropout implements inverted dropout. The original VGG-16 trains its FC
+// head with dropout 0.5; the layer is provided for parity when training
+// custom models. It is active only between SetTraining(true/false) —
+// during inference (and during all of CAP'NN's profiling and pruning) it
+// is an identity, so it never perturbs firing-rate statistics.
+type Dropout struct {
+	name  string
+	shape []int
+	p     float64
+	rng   *rand.Rand
+
+	training bool
+	lastMask []float64
+}
+
+// NewDropout creates a dropout layer with drop probability p ∈ [0,1).
+func NewDropout(name string, inShape []int, p float64, seed int64) (*Dropout, error) {
+	if p < 0 || p >= 1 {
+		return nil, fmt.Errorf("nn: dropout %q probability %v outside [0,1)", name, p)
+	}
+	return &Dropout{name: name, shape: append([]int(nil), inShape...), p: p, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+func (d *Dropout) Name() string     { return d.name }
+func (d *Dropout) InShape() []int   { return d.shape }
+func (d *Dropout) OutShape() []int  { return d.shape }
+func (d *Dropout) Params() []*Param { return nil }
+
+// SetTraining toggles the stochastic behaviour.
+func (d *Dropout) SetTraining(on bool) { d.training = on }
+
+// Forward drops each activation with probability p and rescales the
+// survivors by 1/(1-p) while training; it is the identity otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if !d.training {
+		d.lastMask = nil
+		return x
+	}
+	out := tensor.New(x.Shape()...)
+	if cap(d.lastMask) < x.Len() {
+		d.lastMask = make([]float64, x.Len())
+	}
+	d.lastMask = d.lastMask[:x.Len()]
+	keepScale := 1.0 / (1.0 - d.p)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if d.rng.Float64() < d.p {
+			d.lastMask[i] = 0
+		} else {
+			d.lastMask[i] = keepScale
+			od[i] = v * keepScale
+		}
+	}
+	return out
+}
+
+// Backward gates gradients by the same mask used in the forward pass.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastMask == nil {
+		return grad // inference mode: identity
+	}
+	dx := tensor.New(grad.Shape()...)
+	gd, dxd := grad.Data(), dx.Data()
+	for i, m := range d.lastMask {
+		dxd[i] = gd[i] * m
+	}
+	return dx
+}
+
+// Dropout appends a dropout layer with the given drop probability.
+func (b *Builder) Dropout(p float64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	l, err := NewDropout(fmt.Sprintf("drop%d", b.n), b.cur, p, b.rng.Int63())
+	b.push(l, err)
+	return b
+}
+
+// SetTraining switches every mode-aware layer (currently Dropout) between
+// training and inference behaviour. The trainer flips it automatically.
+func (n *Network) SetTraining(on bool) {
+	for _, l := range n.Layers {
+		if d, ok := l.(*Dropout); ok {
+			d.SetTraining(on)
+		}
+	}
+}

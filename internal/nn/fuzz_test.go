@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoad feeds arbitrary bytes to the model decoder: it must never
+// panic, only return errors — a malicious cloud response must not crash a
+// device.
+func FuzzLoad(f *testing.F) {
+	// Seed with a valid model and a few corruptions of it.
+	net := NewBuilder(1, 4, 4, 1).Conv(2).ReLU().Flatten().Dense(3).MustBuild()
+	var buf bytes.Buffer
+	if err := Save(&buf, net); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	if len(valid) > 10 {
+		f.Add(valid[:len(valid)/2])
+		mutated := append([]byte(nil), valid...)
+		mutated[len(mutated)/3] ^= 0xff
+		f.Add(mutated)
+	}
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Decoded networks must at least survive a parameter walk and a
+		// round trip.
+		_ = net.ParamCount()
+		var out bytes.Buffer
+		if err := Save(&out, net); err != nil {
+			t.Fatalf("re-save of decoded network failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Add computes t += o elementwise. Shapes must match in element count.
+func (t *Tensor) Add(o *Tensor) error {
+	if len(o.data) != len(t.data) {
+		return fmt.Errorf("tensor: add size mismatch %v vs %v", o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return nil
+}
+
+// Sub computes t -= o elementwise.
+func (t *Tensor) Sub(o *Tensor) error {
+	if len(o.data) != len(t.data) {
+		return fmt.Errorf("tensor: sub size mismatch %v vs %v", o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return nil
+}
+
+// Scale multiplies every element by s.
+func (t *Tensor) Scale(s float64) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// AddScaled computes t += s*o elementwise.
+func (t *Tensor) AddScaled(s float64, o *Tensor) error {
+	if len(o.data) != len(t.data) {
+		return fmt.Errorf("tensor: addscaled size mismatch %v vs %v", o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] += s * v
+	}
+	return nil
+}
+
+// Hadamard computes t *= o elementwise.
+func (t *Tensor) Hadamard(o *Tensor) error {
+	if len(o.data) != len(t.data) {
+		return fmt.Errorf("tensor: hadamard size mismatch %v vs %v", o.shape, t.shape)
+	}
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return nil
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Max returns the maximum element and its flat index. Panics on empty data.
+func (t *Tensor) Max() (float64, int) {
+	best, bi := math.Inf(-1), -1
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return best, bi
+}
+
+// AbsMax returns the maximum absolute value of any element.
+func (t *Tensor) AbsMax() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// L2 returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of two equally sized tensors.
+func Dot(a, b *Tensor) (float64, error) {
+	if len(a.data) != len(b.data) {
+		return 0, fmt.Errorf("tensor: dot size mismatch %v vs %v", a.shape, b.shape)
+	}
+	s := 0.0
+	for i, v := range a.data {
+		s += v * b.data[i]
+	}
+	return s, nil
+}
+
+// MatMul computes C = A×B for 2-D tensors A [m×k] and B [k×n].
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	if a.Dims() != 2 || b.Dims() != 2 {
+		return nil, fmt.Errorf("tensor: matmul requires 2-D operands, got %v and %v", a.shape, b.shape)
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		return nil, fmt.Errorf("tensor: matmul inner dims differ: %v vs %v", a.shape, b.shape)
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		crow := cd[i*n : (i+1)*n]
+		for p, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
+			}
+		}
+	}
+	return c, nil
+}
+
+// ArgTopK returns the indices of the k largest values in vals, in
+// descending value order. Ties break toward the lower index. k is clamped
+// to len(vals).
+func ArgTopK(vals []float64, k int) []int {
+	if k > len(vals) {
+		k = len(vals)
+	}
+	if k <= 0 {
+		return nil
+	}
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	return idx[:k]
+}
+
+// Argmax returns the index of the largest value in vals (-1 if empty).
+func Argmax(vals []float64) int {
+	best, bi := math.Inf(-1), -1
+	for i, v := range vals {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}

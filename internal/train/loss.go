@@ -1,0 +1,69 @@
+// Package train implements from-scratch CNN training and evaluation:
+// softmax cross-entropy, SGD with momentum and weight decay, a mini-batch
+// trainer, and the top-1/top-5/per-class accuracy metrics the paper
+// reports. It produces the "already-trained network" that CAP'NN takes as
+// input, and performs the brief fine-tuning the class-unaware baselines
+// of Table II require.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"capnn/internal/tensor"
+)
+
+// Softmax returns the row-wise softmax of logits [N, C].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, c)
+	ld, od := logits.Data(), out.Data()
+	for s := 0; s < n; s++ {
+		row := ld[s*c : (s+1)*c]
+		orow := od[s*c : (s+1)*c]
+		m := math.Inf(-1)
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for i, v := range row {
+			e := math.Exp(v - m)
+			orow[i] = e
+			sum += e
+		}
+		for i := range orow {
+			orow[i] /= sum
+		}
+	}
+	return out
+}
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// [N, C] against integer labels, and the gradient of that mean loss with
+// respect to the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor, error) {
+	n, c := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		return 0, nil, fmt.Errorf("train: %d labels for batch of %d", len(labels), n)
+	}
+	probs := Softmax(logits)
+	grad := probs.Clone()
+	loss := 0.0
+	pd, gd := probs.Data(), grad.Data()
+	inv := 1.0 / float64(n)
+	for s := 0; s < n; s++ {
+		l := labels[s]
+		if l < 0 || l >= c {
+			return 0, nil, fmt.Errorf("train: label %d outside [0,%d)", l, c)
+		}
+		p := pd[s*c+l]
+		loss -= math.Log(math.Max(p, 1e-300))
+		gd[s*c+l] -= 1
+	}
+	for i := range gd {
+		gd[i] *= inv
+	}
+	return loss * inv, grad, nil
+}

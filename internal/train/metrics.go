@@ -1,0 +1,143 @@
+package train
+
+import (
+	"sort"
+
+	"capnn/internal/data"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+// Eval summarizes classification quality on a dataset.
+type Eval struct {
+	// Top1 and Top5 are overall accuracies in [0,1].
+	Top1, Top5 float64
+	// PerClass and PerClassTop5 are per-class accuracies; entries for
+	// classes absent from the dataset are NaN-free zeros with Count 0.
+	PerClass, PerClassTop5 []float64
+	// Count is the number of evaluated samples per class.
+	Count []int
+}
+
+// evalBatch is the forward batch size used during evaluation.
+const evalBatch = 32
+
+// Evaluate runs the network over every image of ds and returns accuracy
+// metrics. Per-class accuracy for class i is the fraction of class-i
+// images whose top-1 prediction (over all output classes) is i — the
+// quantity Algorithms 1 and 2 bound by ε.
+func Evaluate(net *nn.Network, ds *data.Dataset) Eval {
+	e := Eval{
+		PerClass:     make([]float64, ds.Classes),
+		PerClassTop5: make([]float64, ds.Classes),
+		Count:        make([]int, ds.Classes),
+	}
+	hit1 := make([]int, ds.Classes)
+	hit5 := make([]int, ds.Classes)
+	for start := 0; start < ds.Len(); start += evalBatch {
+		end := start + evalBatch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, labels := ds.Batch(idx)
+		logits := net.Forward(x)
+		scoreBatch(logits, labels, hit1, hit5, e.Count)
+	}
+	t1, t5, total := 0, 0, 0
+	for c := 0; c < ds.Classes; c++ {
+		if e.Count[c] > 0 {
+			e.PerClass[c] = float64(hit1[c]) / float64(e.Count[c])
+			e.PerClassTop5[c] = float64(hit5[c]) / float64(e.Count[c])
+		}
+		t1 += hit1[c]
+		t5 += hit5[c]
+		total += e.Count[c]
+	}
+	if total > 0 {
+		e.Top1 = float64(t1) / float64(total)
+		e.Top5 = float64(t5) / float64(total)
+	}
+	return e
+}
+
+func scoreBatch(logits *tensor.Tensor, labels []int, hit1, hit5, count []int) {
+	n, c := logits.Dim(0), logits.Dim(1)
+	ld := logits.Data()
+	k := 5
+	if k > c {
+		k = c
+	}
+	for s := 0; s < n; s++ {
+		row := ld[s*c : (s+1)*c]
+		label := labels[s]
+		count[label]++
+		top := tensor.ArgTopK(row, k)
+		if top[0] == label {
+			hit1[label]++
+		}
+		for _, t := range top {
+			if t == label {
+				hit5[label]++
+				break
+			}
+		}
+	}
+}
+
+// Predict returns the top-1 class for each image of ds, in dataset order.
+func Predict(net *nn.Network, ds *data.Dataset) []int {
+	preds := make([]int, 0, ds.Len())
+	for start := 0; start < ds.Len(); start += evalBatch {
+		end := start + evalBatch
+		if end > ds.Len() {
+			end = ds.Len()
+		}
+		idx := make([]int, end-start)
+		for i := range idx {
+			idx[i] = start + i
+		}
+		x, _ := ds.Batch(idx)
+		logits := net.Forward(x)
+		n, c := logits.Dim(0), logits.Dim(1)
+		for s := 0; s < n; s++ {
+			preds = append(preds, tensor.Argmax(logits.Data()[s*c:(s+1)*c]))
+		}
+	}
+	return preds
+}
+
+// MeanAccuracyOver averages per-class top-1 accuracy over the given class
+// subset (the quantity Figs. 5–6 plot for the user's classes).
+func MeanAccuracyOver(e Eval, classes []int) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range classes {
+		sum += e.PerClass[c]
+	}
+	return sum / float64(len(classes))
+}
+
+// MeanTop5Over averages per-class top-5 accuracy over the class subset.
+func MeanTop5Over(e Eval, classes []int) float64 {
+	if len(classes) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range classes {
+		sum += e.PerClassTop5[c]
+	}
+	return sum / float64(len(classes))
+}
+
+// SortedCopy returns a sorted copy of xs (small helper for reports).
+func SortedCopy(xs []int) []int {
+	c := append([]int(nil), xs...)
+	sort.Ints(c)
+	return c
+}

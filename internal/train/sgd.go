@@ -1,0 +1,38 @@
+package train
+
+import (
+	"capnn/internal/tensor"
+
+	"capnn/internal/nn"
+)
+
+// SGD is stochastic gradient descent with classical momentum and L2
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	vel map[*nn.Param]*tensor.Tensor
+}
+
+// NewSGD constructs an optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay, vel: map[*nn.Param]*tensor.Tensor{}}
+}
+
+// Step applies one update: v ← m·v − lr·(g + wd·w); w ← w + v.
+func (s *SGD) Step(params []*nn.Param) {
+	for _, p := range params {
+		v := s.vel[p]
+		if v == nil {
+			v = tensor.New(p.W.Shape()...)
+			s.vel[p] = v
+		}
+		wd, gd, vd := p.W.Data(), p.G.Data(), v.Data()
+		for i := range wd {
+			vd[i] = s.Momentum*vd[i] - s.LR*(gd[i]+s.WeightDecay*wd[i])
+			wd[i] += vd[i]
+		}
+	}
+}
