@@ -29,12 +29,14 @@ package capnn
 
 import (
 	"io"
+	"net"
 
 	"capnn/internal/baselines"
 	"capnn/internal/cloud"
 	"capnn/internal/core"
 	"capnn/internal/data"
 	"capnn/internal/energy"
+	"capnn/internal/faults"
 	"capnn/internal/firing"
 	"capnn/internal/hw"
 	"capnn/internal/nn"
@@ -245,7 +247,8 @@ func PruneUnaware(net *Network, stages []int, fraction float64, crit PruneCriter
 // CloudServer personalizes models over TCP (Fig. 1a's pruning process).
 type CloudServer = cloud.Server
 
-// CloudClient fetches personalized models from a CloudServer.
+// CloudClient fetches personalized models from a CloudServer, retrying
+// transient failures with exponential backoff + full jitter.
 type CloudClient = cloud.Client
 
 // CloudRequest / CloudStats are the wire types.
@@ -254,11 +257,48 @@ type (
 	CloudStats   = cloud.Stats
 )
 
-// NewCloudServer wraps a prepared System.
+// CloudConfig bounds a CloudServer's exposure to slow, dead or abusive
+// peers (read/write deadlines, request size cap, in-flight limit).
+type CloudConfig = cloud.Config
+
+// CloudRetry is the client's retry policy.
+type CloudRetry = cloud.Retry
+
+// CloudError is the typed error CloudClient.Fetch returns; its Code and
+// Retryable distinguish transient faults from permanent request errors.
+type CloudError = cloud.Error
+
+// CloudCode classifies a cloud response (ok / bad-request / busy /
+// internal).
+type CloudCode = cloud.Code
+
+// NewCloudServer wraps a prepared System with default limits.
 func NewCloudServer(sys *System) *CloudServer { return cloud.NewServer(sys) }
+
+// NewCloudServerWith wraps a prepared System with explicit limits.
+func NewCloudServerWith(sys *System, cfg CloudConfig) *CloudServer {
+	return cloud.NewServerWith(sys, cfg)
+}
 
 // NewCloudClient builds a client for the given address.
 func NewCloudClient(addr string) *CloudClient { return cloud.NewClient(addr) }
+
+// --- fault injection ----------------------------------------------------------
+
+// ChaosPlan configures deterministic, seedable transport fault
+// injection (connection drops, mid-stream closes, latency, payload
+// corruption) for resilience testing.
+type ChaosPlan = faults.Plan
+
+// ParseChaosPlan parses a -chaos style spec, e.g.
+// "seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms".
+func ParseChaosPlan(spec string) (ChaosPlan, error) { return faults.ParsePlan(spec) }
+
+// WrapChaosListener injects the plan's faults into every connection the
+// listener accepts; serve it with CloudServer.Serve.
+func WrapChaosListener(ln net.Listener, plan ChaosPlan) net.Listener {
+	return faults.WrapListener(ln, plan)
+}
 
 // --- cloud device lifecycle ---------------------------------------------------
 

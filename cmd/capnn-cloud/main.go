@@ -4,23 +4,37 @@
 //
 //	capnn-cloud -addr 127.0.0.1:7878
 //
+// For resilience testing the server can injure its own transport with
+// deterministic fault injection (internal/faults):
+//
+//	capnn-cloud -addr 127.0.0.1:7878 -chaos "seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms"
+//
 // A device can then fetch a model with the client in examples/
-// personalized-device or via capnn.NewCloudClient.
+// personalized-device or via capnn.NewCloudClient, exercising its retry
+// and graceful-degradation paths against a realistically unreliable
+// cloud.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"time"
 
 	"capnn/internal/cloud"
 	"capnn/internal/exp"
+	"capnn/internal/faults"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
 	model := flag.String("model", "imagenet20", "fixture to serve: imagenet20 or cifar10")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms")
+	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-connection request read deadline")
+	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-connection response write deadline")
+	maxInflight := flag.Int("max-inflight", 64, "admitted concurrent requests before shedding with busy")
 	flag.Parse()
 
 	var cfg exp.FixtureConfig
@@ -33,17 +47,38 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		os.Exit(2)
 	}
+	plan, err := faults.ParsePlan(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fx, err := exp.Load(cfg, os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := cloud.NewServer(fx.Sys)
-	bound, err := srv.Listen(*addr)
+	// Algorithm 1's matrices are the offline phase: pay for them now (or
+	// load the disk cache) so the first CAP'NN-B request doesn't compute
+	// them inside a client's round-trip deadline.
+	if _, err := fx.EnsureB(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := cloud.NewServerWith(fx.Sys, cloud.Config{
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		MaxInflight:  *maxInflight,
+	})
+	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if plan.Active() {
+		fmt.Printf("capnn-cloud: CHAOS enabled: %+v\n", plan)
+		ln = faults.WrapListener(ln, plan)
+	}
+	bound := srv.Serve(ln)
 	fmt.Printf("capnn-cloud: serving %s on %s (Ctrl-C to stop)\n", cfg.Name, bound)
 
 	sig := make(chan os.Signal, 1)

@@ -6,6 +6,11 @@
 // personalized model that is smaller and at least as accurate on the
 // user's classes.
 //
+// The cloud's transport is deliberately injured with deterministic
+// fault injection (one in four connections corrupts the payload, one in
+// four is cut mid-stream) to show the client's checksum verification
+// and retry-with-backoff absorbing real-world failures.
+//
 //	go run ./examples/personalized-device
 package main
 
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	stdnet "net" // the model local below is idiomatically called net
 
 	"capnn"
 )
@@ -47,12 +53,19 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := capnn.NewCloudServer(sys)
-	addr, err := srv.Listen("127.0.0.1:0")
+	// Serve through a seeded chaos wrapper: the first connection is
+	// guaranteed faulty, so the fetch below visibly retries.
+	plan, err := capnn.ParseChaosPlan("seed=6,close=0.25,corrupt=0.25")
 	if err != nil {
 		log.Fatal(err)
 	}
+	ln, err := stdnet.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr := srv.Serve(capnn.WrapChaosListener(ln, plan))
 	defer srv.Close()
-	fmt.Printf("cloud: model served on %s\n", addr)
+	fmt.Printf("cloud: model served on %s (chaos: 25%% corrupt, 25%% cut connections)\n", addr)
 
 	// --- device side: monitoring period ---------------------------------
 	// The user mostly photographs class 2, sometimes class 5.
@@ -90,6 +103,10 @@ func main() {
 
 	// --- device asks the cloud for a personalized model -----------------
 	client := capnn.NewCloudClient(addr)
+	client.Retry.MaxAttempts = 8
+	client.OnRetry = func(attempt int, err error) {
+		fmt.Printf("device: fetch attempt %d failed (%v) — backing off and retrying\n", attempt, err)
+	}
 	personalized, stats, err := client.Fetch(capnn.CloudRequest{
 		Variant: "M", Classes: prefs.Classes, Weights: prefs.Weights,
 	})

@@ -2,6 +2,7 @@ package cloud
 
 import (
 	"fmt"
+	"time"
 
 	"capnn/internal/core"
 	"capnn/internal/nn"
@@ -14,6 +15,12 @@ import (
 // away from what the current model was personalized for — asks the cloud
 // to prune again (paper §II: "the network can be pruned again if the
 // user's preferences change").
+//
+// The device degrades gracefully when the cloud is unreachable: a
+// failed Repersonalize keeps the current model serving inference,
+// records the consecutive-failure streak, and backs off drift-triggered
+// refetches exponentially until the cloud recovers — the device never
+// ends up without a working model.
 type Device struct {
 	client  *Client
 	classes int
@@ -29,6 +36,16 @@ type Device struct {
 	// TopK is how many classes a repersonalization keeps. Defaults to
 	// the current preference count (or 2 before the first fetch).
 	TopK int
+	// RefetchBackoff is how long drift-triggered refetches are
+	// suppressed after the first consecutive failure; the suppression
+	// doubles per further failure, capped at MaxRefetchBackoff.
+	// Defaults: 1 s base, 5 min cap.
+	RefetchBackoff    time.Duration
+	MaxRefetchBackoff time.Duration
+
+	failures int
+	retryAt  time.Time
+	now      func() time.Time // injectable clock for tests
 }
 
 // NewDevice wraps a cloud client for a model with numClasses outputs.
@@ -45,6 +62,9 @@ func NewDevice(client *Client, initial *nn.Network, numClasses int, variant stri
 		client: client, classes: numClasses, variant: variant,
 		model: initial, monitor: mon,
 		DriftThreshold: 0.25, TopK: 2,
+		RefetchBackoff:    time.Second,
+		MaxRefetchBackoff: 5 * time.Minute,
+		now:               time.Now,
 	}, nil
 }
 
@@ -54,6 +74,15 @@ func (d *Device) Model() *nn.Network { return d.model }
 // Current returns the preferences the deployed model was personalized
 // for (empty before the first personalization).
 func (d *Device) Current() core.Preferences { return d.current }
+
+// ConsecutiveFailures reports how many Repersonalize fetches in a row
+// have failed since the last success.
+func (d *Device) ConsecutiveFailures() int { return d.failures }
+
+// NextRetry returns when the next drift-triggered refetch may run
+// (zero when the device is healthy). Forced repersonalizations ignore
+// it.
+func (d *Device) NextRetry() time.Time { return d.retryAt }
 
 // Classify runs one input through the deployed model, records the
 // prediction in the monitoring period, and returns the predicted class.
@@ -72,7 +101,9 @@ func (d *Device) Classify(x *tensor.Tensor) (int, error) {
 // Drift returns the total-variation distance between the monitored usage
 // distribution and the usage the current model was personalized for.
 // Before any personalization it returns 1 (maximal drift) once there is
-// at least one observation.
+// at least one observation. The monitoring window restarts after each
+// successful repersonalization, so drift measures usage since the
+// current model was installed, not the device's whole history.
 func (d *Device) Drift() float64 {
 	if d.monitor.Total() == 0 {
 		return 0
@@ -95,23 +126,70 @@ func (d *Device) Drift() float64 {
 // Repersonalize fetches a freshly pruned model if usage drifted beyond
 // DriftThreshold (or force is set). It returns whether a new model was
 // installed.
+//
+// On fetch failure the current model stays deployed and further
+// drift-triggered refetches are suppressed for an exponentially growing
+// backoff window (see RefetchBackoff); the returned error reports the
+// failure. While suppressed, non-forced calls return (false, nil) —
+// the device keeps serving with its last-good model.
 func (d *Device) Repersonalize(force bool) (bool, Stats, error) {
-	if !force && d.Drift() < d.DriftThreshold {
-		return false, Stats{}, nil
+	if !force {
+		if d.Drift() < d.DriftThreshold {
+			return false, Stats{}, nil
+		}
+		if d.failures > 0 && d.now().Before(d.retryAt) {
+			return false, Stats{}, nil // backing off a failing cloud
+		}
 	}
 	k := d.TopK
 	if d.current.K() > 0 {
 		k = d.current.K()
 	}
-	prefs, err := d.monitor.Preferences(k)
-	if err != nil {
-		return false, Stats{}, err
+	var prefs core.Preferences
+	if d.monitor.Total() == 0 && d.current.K() > 0 {
+		// Forced refresh inside a fresh monitoring window: keep the
+		// preferences the device is already personalized for.
+		prefs = d.current
+	} else {
+		var err error
+		prefs, err = d.monitor.Preferences(k)
+		if err != nil {
+			return false, Stats{}, err
+		}
 	}
 	model, stats, err := d.client.Fetch(Request{Variant: d.variant, Classes: prefs.Classes, Weights: prefs.Weights})
 	if err != nil {
+		d.failures++
+		d.retryAt = d.now().Add(d.failureBackoff())
 		return false, Stats{}, err
 	}
+	d.failures = 0
+	d.retryAt = time.Time{}
 	d.model = model
 	d.current = prefs
+	// Start a fresh monitoring window so drift reflects usage under
+	// the new model rather than unbounded lifetime counts.
+	d.monitor.Reset()
 	return true, stats, nil
+}
+
+// failureBackoff returns the refetch suppression after the current
+// failure streak: base·2^(failures-1), capped.
+func (d *Device) failureBackoff() time.Duration {
+	base := d.RefetchBackoff
+	if base <= 0 {
+		base = time.Second
+	}
+	max := d.MaxRefetchBackoff
+	if max <= 0 {
+		max = 5 * time.Minute
+	}
+	b := base
+	for i := 1; i < d.failures && b < max; i++ {
+		b *= 2
+	}
+	if b > max {
+		b = max
+	}
+	return b
 }

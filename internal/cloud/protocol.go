@@ -4,12 +4,69 @@
 // monitoring-derived counts); the cloud prunes with the requested CAP'NN
 // variant — no retraining — compacts the model, and ships it back for
 // local inference. The wire format is gob over TCP.
+//
+// The protocol is versioned and fault-aware: responses carry a typed
+// Code so clients can distinguish retryable failures (server busy,
+// internal fault) from permanent ones (malformed request), and the
+// model payload is covered by a CRC-32 checksum so a corrupted transfer
+// is detected rather than installed.
 package cloud
+
+import "hash/crc32"
+
+// ProtocolVersion is the current wire protocol version. Servers accept
+// requests at or below their own version; clients stamp every request.
+// Version 0 is the unversioned seed protocol and remains accepted.
+const ProtocolVersion = 1
+
+// Code classifies a response outcome so clients can decide whether a
+// retry can help.
+type Code uint8
+
+const (
+	// CodeOK is a successful personalization.
+	CodeOK Code = iota
+	// CodeBadRequest is a permanent failure: the request is malformed,
+	// oversized, names unknown classes/variants, or uses a protocol
+	// version the server does not speak. Retrying the same request
+	// cannot succeed.
+	CodeBadRequest
+	// CodeBusy means the server shed the request to protect itself
+	// (in-flight limit reached). Retrying after a backoff is expected.
+	CodeBusy
+	// CodeInternal is a server-side fault (panic, serialization
+	// failure) unrelated to the request's validity; a retry may land
+	// on a healthy path.
+	CodeInternal
+)
+
+// Retryable reports whether a client may reasonably retry after this
+// code.
+func (c Code) Retryable() bool { return c == CodeBusy || c == CodeInternal }
+
+// String names the code for errors and logs.
+func (c Code) String() string {
+	switch c {
+	case CodeOK:
+		return "ok"
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeBusy:
+		return "busy"
+	case CodeInternal:
+		return "internal"
+	default:
+		return "unknown"
+	}
+}
 
 // Request is what the device sends: which variant to run and the user's
 // preferences. Classes and Weights are parallel; Weights may be nil for
 // CAP'NN-B (it ignores usage) or to request uniform usage.
 type Request struct {
+	// Version is the protocol version the client speaks. Zero (from
+	// pre-versioning clients) is accepted.
+	Version int
 	// Variant is "B", "W" or "M".
 	Variant string
 	Classes []int
@@ -24,10 +81,28 @@ type Stats struct {
 	PrunedUnits, TotalUnits int
 }
 
-// Response carries either an error message or a gob-serialized compacted
+// Response carries either a typed error or a gob-serialized compacted
 // network (nn.Save format) plus its stats.
 type Response struct {
-	Err   string
-	Model []byte
-	Stats Stats
+	// Version is the server's protocol version.
+	Version int
+	// Code classifies the outcome; Err is its human-readable detail
+	// (empty on success).
+	Code Code
+	Err  string
+	// Model is the compacted personalized network; ModelSum is the
+	// IEEE CRC-32 of Model, letting the client reject a payload that
+	// was corrupted in transit instead of installing it. Zero means
+	// the (pre-versioning) server did not compute one.
+	Model    []byte
+	ModelSum uint32
+	Stats    Stats
 }
+
+// errResponse builds a typed failure response.
+func errResponse(code Code, msg string) *Response {
+	return &Response{Version: ProtocolVersion, Code: code, Err: msg}
+}
+
+// modelSum is the checksum covering Response.Model.
+func modelSum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

@@ -4,12 +4,61 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"time"
 
 	"capnn/internal/core"
 	"capnn/internal/nn"
 )
+
+// Config bounds a Server's exposure to slow, dead, or abusive peers.
+// Zero fields take the defaults from DefaultConfig.
+type Config struct {
+	// ReadTimeout is how long a connection may take to deliver its
+	// request before the handler gives up, so a peer that connects
+	// and hangs cannot hold a goroutine past its deadline.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds writing the response to a peer that stops
+	// reading.
+	WriteTimeout time.Duration
+	// MaxRequestBytes caps how much of a request the gob decoder will
+	// consume; oversized requests fail decoding and are rejected with
+	// CodeBadRequest.
+	MaxRequestBytes int64
+	// MaxInflight bounds concurrently admitted requests. Excess
+	// requests are shed immediately with CodeBusy rather than queued
+	// without bound.
+	MaxInflight int
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		ReadTimeout:     30 * time.Second,
+		WriteTimeout:    30 * time.Second,
+		MaxRequestBytes: 1 << 20,
+		MaxInflight:     64,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = d.MaxRequestBytes
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = d.MaxInflight
+	}
+	return c
+}
 
 // Server personalizes models on request. It owns a core.System (whose
 // network it mutates while pruning), so requests are serialized with a
@@ -18,16 +67,32 @@ import (
 type Server struct {
 	mu  sync.Mutex
 	sys *core.System
+	cfg Config
+
+	inflight chan struct{}
+
+	// hookAfterPrune, when set by tests, runs between installing the
+	// pruning masks and compacting — the window where a panic would
+	// leave masks on the shared network without recovery.
+	hookAfterPrune func()
 
 	lnMu sync.Mutex
 	ln   net.Listener
 	wg   sync.WaitGroup
 }
 
-// NewServer wraps a prepared system.
-func NewServer(sys *core.System) *Server {
-	return &Server{sys: sys}
+// NewServer wraps a prepared system with the default Config.
+func NewServer(sys *core.System) *Server { return NewServerWith(sys, DefaultConfig()) }
+
+// NewServerWith wraps a prepared system with explicit limits.
+func NewServerWith(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{sys: sys, cfg: cfg, inflight: make(chan struct{}, cfg.MaxInflight)}
 }
+
+// Inflight reports how many requests are currently admitted — useful
+// for load-shedding tests and monitoring.
+func (s *Server) Inflight() int { return len(s.inflight) }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
 // returns the bound address. Serve loops in a background goroutine until
@@ -37,6 +102,13 @@ func (s *Server) Listen(addr string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return s.Serve(ln), nil
+}
+
+// Serve accepts connections from ln — which may be wrapped, e.g. with
+// internal/faults fault injection — until Close is called, and returns
+// the listener's address.
+func (s *Server) Serve(ln net.Listener) string {
 	s.lnMu.Lock()
 	s.ln = ln
 	s.lnMu.Unlock()
@@ -52,11 +124,12 @@ func (s *Server) Listen(addr string) (string, error) {
 			go func() {
 				defer s.wg.Done()
 				defer conn.Close()
+				defer func() { _ = recover() }() // a handler panic must not kill the server
 				s.handle(conn)
 			}()
 		}
 	}()
-	return ln.Addr().String(), nil
+	return ln.Addr().String()
 }
 
 // Close stops the listener and waits for in-flight requests.
@@ -74,26 +147,52 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) handle(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+	// A dead or stalled peer cannot hold this goroutine past the
+	// configured deadlines.
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	dec := gob.NewDecoder(io.LimitReader(conn, s.cfg.MaxRequestBytes))
 	var req Request
 	if err := dec.Decode(&req); err != nil {
-		_ = enc.Encode(&Response{Err: fmt.Sprintf("decode: %v", err)})
+		s.respond(conn, errResponse(CodeBadRequest, fmt.Sprintf("decode: %v", err)))
 		return
 	}
-	resp := s.Personalize(req)
-	_ = enc.Encode(resp)
+	select {
+	case s.inflight <- struct{}{}:
+		defer func() { <-s.inflight }()
+	default:
+		s.respond(conn, errResponse(CodeBusy, "server busy: in-flight limit reached, retry with backoff"))
+		return
+	}
+	s.respond(conn, s.Personalize(req))
+}
+
+func (s *Server) respond(conn net.Conn, resp *Response) {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = gob.NewEncoder(conn).Encode(resp)
 }
 
 // Personalize executes one request against the system. Exposed so the
-// protocol can be exercised without sockets.
-func (s *Server) Personalize(req Request) *Response {
+// protocol can be exercised without sockets. A panic while pruning is
+// recovered into a CodeInternal response, and the shared network is
+// always left unmasked.
+func (s *Server) Personalize(req Request) (resp *Response) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic mid-prune must not leave masks installed on the
+			// shared network for the next request to inherit.
+			s.sys.Net.ClearPruning()
+			resp = errResponse(CodeInternal, fmt.Sprintf("internal: %v", r))
+		}
+	}()
 
+	if req.Version > ProtocolVersion {
+		return errResponse(CodeBadRequest, fmt.Sprintf("protocol version %d not supported (server speaks ≤ %d)", req.Version, ProtocolVersion))
+	}
 	variant, err := parseVariant(req.Variant)
 	if err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(CodeBadRequest, err.Error())
 	}
 	var prefs core.Preferences
 	if req.Weights == nil {
@@ -101,30 +200,33 @@ func (s *Server) Personalize(req Request) *Response {
 	} else {
 		prefs, err = core.Weighted(req.Classes, req.Weights)
 		if err != nil {
-			return &Response{Err: err.Error()}
+			return errResponse(CodeBadRequest, err.Error())
 		}
 	}
 	prefs.Normalize()
 	if err := prefs.Validate(s.sys.Rates.Classes); err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(CodeBadRequest, err.Error())
 	}
 
 	masks, err := s.sys.Prune(variant, prefs)
 	if err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(CodeInternal, err.Error())
 	}
 	net := s.sys.Net
 	net.ClearPruning()
 	origParams := net.ParamCount()
 	net.SetPruning(masks)
+	if s.hookAfterPrune != nil {
+		s.hookAfterPrune()
+	}
 	compact, err := nn.Compact(net)
 	net.ClearPruning()
 	if err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(CodeInternal, err.Error())
 	}
 	var buf bytes.Buffer
 	if err := nn.Save(&buf, compact); err != nil {
-		return &Response{Err: err.Error()}
+		return errResponse(CodeInternal, err.Error())
 	}
 	st := Stats{RelativeSize: float64(compact.ParamCount()) / float64(origParams)}
 	for _, m := range masks {
@@ -135,7 +237,13 @@ func (s *Server) Personalize(req Request) *Response {
 			}
 		}
 	}
-	return &Response{Model: buf.Bytes(), Stats: st}
+	return &Response{
+		Version:  ProtocolVersion,
+		Code:     CodeOK,
+		Model:    buf.Bytes(),
+		ModelSum: modelSum(buf.Bytes()),
+		Stats:    st,
+	}
 }
 
 func parseVariant(v string) (core.Variant, error) {

@@ -36,6 +36,18 @@ func (m *Monitor) Observe(pred int) error {
 // Total returns the number of observations so far.
 func (m *Monitor) Total() int { return m.total }
 
+// Reset clears all observations, starting a fresh monitoring window.
+// Without it the counts accumulate over the device's whole lifetime and
+// old usage dominates drift forever; a device calls Reset after each
+// successful repersonalization so drift reflects usage since the
+// current model was installed.
+func (m *Monitor) Reset() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.total = 0
+}
+
 // Counts returns a copy of the per-class observation counts.
 func (m *Monitor) Counts() []int { return append([]int(nil), m.counts...) }
 

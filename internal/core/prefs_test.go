@@ -154,6 +154,31 @@ func TestMonitorErrors(t *testing.T) {
 	}
 }
 
+func TestMonitorReset(t *testing.T) {
+	m, _ := NewMonitor(3)
+	for i := 0; i < 5; i++ {
+		m.Observe(2)
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Fatalf("total %d after reset", m.Total())
+	}
+	for c, n := range m.Counts() {
+		if n != 0 {
+			t.Fatalf("class %d count %d after reset", c, n)
+		}
+	}
+	// A fresh window accumulates normally.
+	m.Observe(1)
+	p, err := m.Preferences(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K() != 1 || p.Classes[0] != 1 {
+		t.Fatalf("post-reset prefs %+v reflect pre-reset usage", p)
+	}
+}
+
 func TestMonitorCountsCopy(t *testing.T) {
 	m, _ := NewMonitor(3)
 	m.Observe(1)
