@@ -15,11 +15,13 @@ import (
 	"os"
 	"sync"
 	"testing"
+	"time"
 
 	"capnn/internal/core"
 	"capnn/internal/exp"
 	"capnn/internal/firing"
 	"capnn/internal/nn"
+	"capnn/internal/serve"
 	"capnn/internal/tensor"
 )
 
@@ -272,6 +274,72 @@ func BenchmarkInferencePruned(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pruned.Forward(x)
 	}
+}
+
+// BenchmarkServeThroughput compares multi-user serving strategies on the
+// 10-class fixture: the naive per-request path (install the requester's
+// mask, run one stateful batch-1 forward under the global lock — the
+// only safe pre-serve approach) against internal/serve's pipeline, which
+// micro-batches requests sharing a preference key into one batched
+// masked forward (im2col kernel, batch size 8). Reported req/s is the
+// headline; the batched path should clear 2× the naive one.
+func BenchmarkServeThroughput(b *testing.B) {
+	fx := cifarFixture(b)
+	prefs := core.Uniform([]int{3, 7})
+	masks, err := fx.Sys.Prune(core.VariantM, prefs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x1, _ := fx.Sets.Test.Batch([]int{0})
+	shape := x1.Shape()
+
+	b.Run("naive-per-request", func(b *testing.B) {
+		var mu sync.Mutex
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			fx.Net.SetPruning(masks)
+			fx.Net.Forward(x1)
+			fx.Net.ClearPruning()
+			mu.Unlock()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("micro-batch-8", func(b *testing.B) {
+		srv := serve.NewServerWith(fx.Sys, serve.Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond})
+		defer srv.Close()
+		sample := x1.MustReshape(shape[1:]...)
+		if _, err := srv.Infer(prefs, sample); err != nil { // warm the mask cache
+			b.Fatal(err)
+		}
+		const lanes = 8
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		for g := 0; g < lanes; g++ {
+			n := b.N / lanes
+			if g < b.N%lanes {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(n int) {
+				defer wg.Done()
+				for i := 0; i < n; i++ {
+					if _, err := srv.Infer(prefs, sample); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(n)
+		}
+		wg.Wait()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
 }
 
 // BenchmarkConvForward times the substrate's 3×3 convolution.

@@ -40,6 +40,7 @@ import (
 	"capnn/internal/firing"
 	"capnn/internal/hw"
 	"capnn/internal/nn"
+	"capnn/internal/serve"
 	"capnn/internal/train"
 )
 
@@ -282,6 +283,53 @@ func NewCloudServerWith(sys *System, cfg CloudConfig) *CloudServer {
 
 // NewCloudClient builds a client for the given address.
 func NewCloudClient(addr string) *CloudClient { return cloud.NewClient(addr) }
+
+// --- inference serving --------------------------------------------------------
+
+// ServeServer is the multi-user inference server: it deduplicates
+// personalization work with a mask cache (singleflight-filled, LRU) and
+// micro-batches concurrent requests that share a preference key into
+// single masked forwards.
+type ServeServer = serve.Server
+
+// ServeClient requests inferences from a ServeServer over TCP.
+type ServeClient = serve.Client
+
+// ServeConfig tunes batching (MaxBatch/MaxWait), the worker pool, the
+// mask cache, and the admission limits.
+type ServeConfig = serve.Config
+
+// ServeStats is a snapshot of the serving metrics: cache hits/misses/
+// evictions, batch-size histogram, queue depth, per-stage latency.
+type ServeStats = serve.Stats
+
+// ServeResult is one served inference: logits, argmax class, the
+// micro-batch size it rode in, and whether its masks were cached.
+type ServeResult = serve.Result
+
+// ServeError is the typed serving failure; it reuses CloudCode so
+// clients share one retry policy across both services.
+type ServeError = serve.Error
+
+// ServeRequest / ServeResponse are the wire types.
+type (
+	ServeRequest  = serve.WireRequest
+	ServeResponse = serve.WireResponse
+)
+
+// NewServeServer wraps a prepared System with default serving limits.
+func NewServeServer(sys *System) *ServeServer { return serve.NewServer(sys) }
+
+// NewServeServerWith wraps a prepared System with explicit limits.
+func NewServeServerWith(sys *System, cfg ServeConfig) *ServeServer {
+	return serve.NewServerWith(sys, cfg)
+}
+
+// NewServeClient builds an inference client for the given address.
+func NewServeClient(addr string) *ServeClient { return serve.NewClient(addr) }
+
+// DefaultServeConfig returns the production serving defaults.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
 
 // --- fault injection ----------------------------------------------------------
 

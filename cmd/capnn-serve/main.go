@@ -1,0 +1,130 @@
+// Command capnn-serve runs CAP'NN's multi-user inference service: a TCP
+// server that answers per-user classification requests by personalizing
+// the shared model on demand (mask cache + singleflight) and executing
+// micro-batched masked forwards grouped by preference.
+//
+//	capnn-serve -addr 127.0.0.1:7879 -model cifar10 -variant M
+//
+// Like capnn-cloud it can injure its own transport for resilience
+// testing:
+//
+//	capnn-serve -addr 127.0.0.1:7879 -chaos "seed=7,drop=0.1,latency=20ms"
+//
+// On SIGINT the server drains in-flight micro-batches, prints a final
+// stats snapshot (cache hit rate, batch histogram, per-stage latency),
+// and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"capnn/internal/core"
+	"capnn/internal/exp"
+	"capnn/internal/faults"
+	"capnn/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7879", "listen address")
+	model := flag.String("model", "imagenet20", "fixture to serve: imagenet20 or cifar10")
+	variant := flag.String("variant", "M", "default pruning variant for requests that name none: B, W or M")
+	maxBatch := flag.Int("max-batch", 8, "flush a mask group at this many queued requests")
+	maxWait := flag.Duration("max-wait", 2*time.Millisecond, "flush a non-full group this long after its first request")
+	workers := flag.Int("workers", 0, "flush worker pool size (0 = GOMAXPROCS)")
+	cacheCap := flag.Int("cache-cap", 256, "mask cache capacity (distinct personalizations held)")
+	maxQueue := flag.Int("max-queue", 1024, "admitted requests in flight before shedding with busy")
+	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms")
+	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
+	flag.Parse()
+
+	var cfg exp.FixtureConfig
+	switch *model {
+	case "imagenet20":
+		cfg = exp.ImageNet20Config()
+	case "cifar10":
+		cfg = exp.CIFAR10Config()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	var v core.Variant
+	switch *variant {
+	case "B", "b":
+		v = core.VariantB
+	case "W", "w":
+		v = core.VariantW
+	case "M", "m":
+		v = core.VariantM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown variant %q (want B, W or M)\n", *variant)
+		os.Exit(2)
+	}
+	plan, err := faults.ParsePlan(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fx, err := exp.Load(cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// Algorithm 1's per-class matrices back CAP'NN-B personalizations;
+	// compute (or load) them now so a cold B request doesn't pay for the
+	// offline phase inside its deadline.
+	if v == core.VariantB {
+		if _, err := fx.EnsureB(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	srv := serve.NewServerWith(fx.Sys, serve.Config{
+		Variant:  v,
+		MaxBatch: *maxBatch,
+		MaxWait:  *maxWait,
+		Workers:  *workers,
+		CacheCap: *cacheCap,
+		MaxQueue: *maxQueue,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if plan.Active() {
+		fmt.Printf("capnn-serve: CHAOS enabled: %+v\n", plan)
+		ln = faults.WrapListener(ln, plan)
+	}
+	bound := srv.Serve(ln)
+	fmt.Printf("capnn-serve: serving %s (variant %s, batch %d/%v) on %s (Ctrl-C to stop)\n",
+		cfg.Name, v, *maxBatch, *maxWait, bound)
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Printf("capnn-serve: %s\n", srv.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	close(stop)
+	_ = srv.Close()
+	fmt.Printf("capnn-serve: final %s\n", srv.Stats())
+	fmt.Println("capnn-serve: stopped")
+}

@@ -6,7 +6,9 @@
 package core
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 )
@@ -106,6 +108,41 @@ func (p *Preferences) Normalize() {
 			p.Weights[i] = x.w / sum
 		}
 	}
+}
+
+// keyScale quantizes weights for Key: two preference vectors whose
+// normalized weights agree to ~1e-6 hash identically, so float noise
+// from different normalization paths cannot fragment a mask cache.
+const keyScale = 1e6
+
+// Key returns a canonical hash of the preference vector, suitable as a
+// cache key for personalization artifacts (prune masks, compacted
+// models). It is stable under class permutation (classes are sorted
+// with their weights carried along), under weight scaling (weights are
+// renormalized to sum to 1), and under float rounding noise (weights
+// are quantized to 1e-6 before hashing). p itself is not modified.
+//
+// Key does not validate; hash a garbage vector and you get a
+// well-defined key for the same garbage. Validate first when the
+// preferences come off the wire.
+func (p Preferences) Key() string {
+	n := len(p.Classes)
+	if len(p.Weights) < n {
+		n = len(p.Weights) // unvalidated input: hash the consistent prefix
+	}
+	q := Preferences{
+		Classes: append([]int(nil), p.Classes[:n]...),
+		Weights: append([]float64(nil), p.Weights[:n]...),
+	}
+	q.Normalize()
+	h := fnv.New64a()
+	var buf [16]byte
+	for i, c := range q.Classes {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(int64(c)))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(int64(math.Round(q.Weights[i]*keyScale))))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Weight returns the usage weight of class c (0 if c ∉ K).

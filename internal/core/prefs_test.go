@@ -259,3 +259,66 @@ func TestNormalizeIdempotentProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestKeyStableUnderPermutation(t *testing.T) {
+	a, err := Weighted([]int{3, 7, 11}, []float64{0.5, 0.3, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Weighted([]int{11, 3, 7}, []float64{0.2, 0.5, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Key() != b.Key() {
+		t.Fatalf("permuted class order fragments the key: %s vs %s", a.Key(), b.Key())
+	}
+}
+
+func TestKeyStableUnderScalingAndRounding(t *testing.T) {
+	a, _ := Weighted([]int{1, 4}, []float64{3, 1})
+	b, _ := Weighted([]int{1, 4}, []float64{0.75, 0.25})
+	if a.Key() != b.Key() {
+		t.Fatal("weight scaling fragments the key")
+	}
+	// Near-equal weights: differ by float noise far below the 1e-6
+	// quantum must collapse to one key.
+	c, _ := Weighted([]int{1, 4}, []float64{0.75 + 3e-9, 0.25 - 3e-9})
+	if a.Key() != c.Key() {
+		t.Fatal("sub-quantum float noise fragments the key")
+	}
+	// Uniform built two ways.
+	u := Uniform([]int{2, 5, 8})
+	w, _ := Weighted([]int{8, 2, 5}, []float64{1, 1, 1})
+	if u.Key() != w.Key() {
+		t.Fatal("uniform-vs-weighted equal usage fragments the key")
+	}
+}
+
+func TestKeyDistinguishes(t *testing.T) {
+	keys := map[string]string{}
+	for name, p := range map[string]Preferences{
+		"classes{1,2}":   Uniform([]int{1, 2}),
+		"classes{1,3}":   Uniform([]int{1, 3}),
+		"classes{1,2,3}": Uniform([]int{1, 2, 3}),
+		"weights80/20":   {Classes: []int{1, 2}, Weights: []float64{0.8, 0.2}},
+		"weights20/80":   {Classes: []int{1, 2}, Weights: []float64{0.2, 0.8}},
+	} {
+		k := p.Key()
+		if prev, dup := keys[k]; dup {
+			t.Fatalf("distinct preferences %s and %s collide on %s", prev, name, k)
+		}
+		keys[k] = name
+	}
+}
+
+func TestKeyDoesNotMutate(t *testing.T) {
+	p, _ := Weighted([]int{9, 2}, []float64{0.6, 0.4})
+	classes := append([]int(nil), p.Classes...)
+	weights := append([]float64(nil), p.Weights...)
+	_ = p.Key()
+	for i := range classes {
+		if p.Classes[i] != classes[i] || p.Weights[i] != weights[i] {
+			t.Fatal("Key mutated the receiver")
+		}
+	}
+}

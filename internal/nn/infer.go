@@ -1,0 +1,262 @@
+package nn
+
+import (
+	"fmt"
+
+	"capnn/internal/tensor"
+)
+
+// This file is the inference-only forward path. Network.Forward exists
+// for training: every layer caches its forward input so Backward can run,
+// and unit layers read the prune mask installed by SetPruned — which is
+// why a network must not be shared across goroutines there (and why the
+// cloud server serializes personalization requests with a mutex).
+//
+// Serving wants the opposite trade: many goroutines pushing batches
+// through ONE set of weights, each batch under a different user's prune
+// mask. Network.Infer provides that: it performs no writes to any layer
+// field — no cached inputs, no pool argmax buffers, no recording hooks —
+// and takes the prune masks as an explicit argument instead of reading
+// layer state. Concurrent Infer calls are therefore safe, including
+// concurrently with personalization (System.Prune), which only writes
+// layer fields Infer never reads (cached activations and installed
+// masks). The single forbidden overlap is weight mutation: do not train
+// while serving.
+
+// statelessInfer is implemented by layers whose inference pass has no
+// side effects and no prunable units.
+type statelessInfer interface {
+	infer(x *tensor.Tensor) *tensor.Tensor
+}
+
+// maskedInfer is implemented by unit layers: inference with the prune
+// mask supplied by the caller (nil = nothing pruned) rather than read
+// from layer state.
+type maskedInfer interface {
+	inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor
+}
+
+// Infer runs the batch x (shape [N, InShape...]) through the network
+// without mutating any layer state and returns the logits. masks maps
+// unit-layer index (the same indexing as SetPruning) to that stage's
+// prune mask; nil masks — or absent indices — leave the stage unpruned.
+//
+// Infer is safe for concurrent use, including concurrently with mask
+// installation and personalization, because it only reads the weights.
+// It must not run concurrently with training (weight mutation).
+//
+// The masked semantics match Forward under SetPruning exactly: a pruned
+// unit's output (and hence everything downstream of its ReLU) is zero.
+func (n *Network) Infer(x *tensor.Tensor, masks map[int][]bool) *tensor.Tensor {
+	unit := 0
+	for _, l := range n.Layers {
+		if ml, ok := l.(maskedInfer); ok {
+			x = ml.inferMasked(x, masks[unit])
+			unit++
+			continue
+		}
+		if sl, ok := l.(statelessInfer); ok {
+			x = sl.infer(x)
+			continue
+		}
+		panic(fmt.Sprintf("nn: layer %s does not support stateless inference", l.Name()))
+	}
+	return x
+}
+
+// inferMasked computes the convolution with an explicit channel mask via
+// im2col: the input patches are gathered once into a column matrix, then
+// each live output channel is an axpy sweep over contiguous rows. This
+// keeps the hot loop branch-free (the bounds checks of the training
+// kernel move into the gather, amortized over all output channels) and
+// touches no layer state.
+func (c *Conv2D) inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor {
+	if pruned != nil && len(pruned) != c.outC {
+		panic(fmt.Sprintf("nn: conv %q mask length %d, want %d", c.name, len(pruned), c.outC))
+	}
+	n := x.Dim(0)
+	out := tensor.New(n, c.outC, c.outH, c.outW)
+	xd, od := x.Data(), out.Data()
+	wd, bd := c.w.W.Data(), c.b.W.Data()
+
+	inHW := c.inH * c.inW
+	outHW := c.outH * c.outW
+	kk := c.k * c.k
+	cols := make([]float64, c.inC*kk*outHW) // [inC·k·k, outH·outW], reused per sample
+	for s := 0; s < n; s++ {
+		xBase := s * c.inC * inHW
+		for ic := 0; ic < c.inC; ic++ {
+			xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
+			for ky := 0; ky < c.k; ky++ {
+				for kx := 0; kx < c.k; kx++ {
+					row := cols[(ic*kk+ky*c.k+kx)*outHW : (ic*kk+ky*c.k+kx+1)*outHW]
+					ri := 0
+					for oy := 0; oy < c.outH; oy++ {
+						iy := oy*c.stride - c.pad + ky
+						if iy < 0 || iy >= c.inH {
+							for ox := 0; ox < c.outW; ox++ {
+								row[ri] = 0
+								ri++
+							}
+							continue
+						}
+						xRow := xCh[iy*c.inW : (iy+1)*c.inW]
+						if c.stride == 1 {
+							// ix = ox + kx − pad is contiguous: bulk-copy the
+							// in-bounds span, zero the edges.
+							lo, hi := c.pad-kx, c.inW+c.pad-kx
+							if lo < 0 {
+								lo = 0
+							}
+							if hi > c.outW {
+								hi = c.outW
+							}
+							for ox := 0; ox < lo; ox++ {
+								row[ri+ox] = 0
+							}
+							copy(row[ri+lo:ri+hi], xRow[lo+kx-c.pad:hi+kx-c.pad])
+							for ox := hi; ox < c.outW; ox++ {
+								row[ri+ox] = 0
+							}
+							ri += c.outW
+							continue
+						}
+						for ox := 0; ox < c.outW; ox++ {
+							ix := ox*c.stride - c.pad + kx
+							if ix < 0 || ix >= c.inW {
+								row[ri] = 0
+							} else {
+								row[ri] = xRow[ix]
+							}
+							ri++
+						}
+					}
+				}
+			}
+		}
+		// out[oc,·] = bias[oc] + Σ_r w[oc,r]·cols[r,·], accumulated in the
+		// same (ic,ky,kx) order as the training kernel so results match it
+		// bit for bit. Pruned channels are skipped: output stays zero.
+		oBase := s * c.outC * outHW
+		for oc := 0; oc < c.outC; oc++ {
+			if pruned != nil && pruned[oc] {
+				continue
+			}
+			oRow := od[oBase+oc*outHW : oBase+(oc+1)*outHW]
+			bias := bd[oc]
+			for i := range oRow {
+				oRow[i] = bias
+			}
+			wRow := wd[oc*c.inC*kk : (oc+1)*c.inC*kk]
+			// Four column rows per sweep quarters the oRow write traffic.
+			// The explicit left-to-right sum keeps the accumulation order of
+			// the one-row-at-a-time loop, so results still match the
+			// training kernel bit for bit.
+			r := 0
+			for ; r+4 <= len(wRow); r += 4 {
+				w0, w1, w2, w3 := wRow[r], wRow[r+1], wRow[r+2], wRow[r+3]
+				if w0 == 0 && w1 == 0 && w2 == 0 && w3 == 0 {
+					continue
+				}
+				c0 := cols[r*outHW : (r+1)*outHW]
+				c1 := cols[(r+1)*outHW : (r+2)*outHW]
+				c2 := cols[(r+2)*outHW : (r+3)*outHW]
+				c3 := cols[(r+3)*outHW : (r+4)*outHW]
+				for i := range oRow {
+					oRow[i] = oRow[i] + w0*c0[i] + w1*c1[i] + w2*c2[i] + w3*c3[i]
+				}
+			}
+			for ; r < len(wRow); r++ {
+				wv := wRow[r]
+				if wv == 0 {
+					continue
+				}
+				col := cols[r*outHW : (r+1)*outHW]
+				for i, cv := range col {
+					oRow[i] += wv * cv
+				}
+			}
+		}
+	}
+	return out
+}
+
+// inferMasked computes the affine map with an explicit neuron mask,
+// without caching the input.
+func (d *Dense) inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor {
+	if pruned != nil && len(pruned) != d.out {
+		panic(fmt.Sprintf("nn: dense %q mask length %d, want %d", d.name, len(pruned), d.out))
+	}
+	n := x.Dim(0)
+	out := tensor.New(n, d.out)
+	xd, od := x.Data(), out.Data()
+	wd, bd := d.w.W.Data(), d.b.W.Data()
+	for s := 0; s < n; s++ {
+		xRow := xd[s*d.in : (s+1)*d.in]
+		oRow := od[s*d.out : (s+1)*d.out]
+		for o := 0; o < d.out; o++ {
+			if pruned != nil && pruned[o] {
+				continue
+			}
+			wRow := wd[o*d.in : (o+1)*d.in]
+			sum := bd[o]
+			for i, xv := range xRow {
+				sum += wRow[i] * xv
+			}
+			oRow[o] = sum
+		}
+	}
+	return out
+}
+
+// infer clamps negatives to zero without recording the output or firing
+// the profiling hook.
+func (r *ReLU) infer(x *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	for i, v := range xd {
+		if v > 0 {
+			od[i] = v
+		}
+	}
+	return out
+}
+
+// infer computes max pooling without recording argmax locations.
+func (p *MaxPool2D) infer(x *tensor.Tensor) *tensor.Tensor {
+	n := x.Dim(0)
+	out := tensor.New(n, p.c, p.outH, p.outW)
+	outHW := p.outH * p.outW
+	inHW := p.inH * p.inW
+	xd, od := x.Data(), out.Data()
+	for s := 0; s < n; s++ {
+		for c := 0; c < p.c; c++ {
+			xCh := xd[(s*p.c+c)*inHW : (s*p.c+c+1)*inHW]
+			oBase := (s*p.c + c) * outHW
+			for oy := 0; oy < p.outH; oy++ {
+				for ox := 0; ox < p.outW; ox++ {
+					iy0, ix0 := oy*p.stride, ox*p.stride
+					best := xCh[iy0*p.inW+ix0]
+					for ky := 0; ky < p.k; ky++ {
+						for kx := 0; kx < p.k; kx++ {
+							if v := xCh[(iy0+ky)*p.inW+ix0+kx]; v > best {
+								best = v
+							}
+						}
+					}
+					od[oBase+oy*p.outW+ox] = best
+				}
+			}
+		}
+	}
+	return out
+}
+
+// infer reshapes without touching state (Flatten is stateless anyway).
+func (f *Flatten) infer(x *tensor.Tensor) *tensor.Tensor {
+	return x.MustReshape(x.Dim(0), f.out)
+}
+
+// infer is the identity: dropout is inactive at inference and, unlike
+// Forward, does not clear the cached training mask.
+func (d *Dropout) infer(x *tensor.Tensor) *tensor.Tensor { return x }

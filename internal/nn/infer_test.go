@@ -1,0 +1,169 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"capnn/internal/tensor"
+)
+
+// inferTestNet builds a small conv/pool/dense stack with deterministic
+// weights, shaped like the reference model's tail.
+func inferTestNet(t testing.TB) *Network {
+	t.Helper()
+	net, err := NewBuilder(1, 12, 12, 7).
+		Conv(6).ReLU().Pool().
+		Conv(8).ReLU().Pool().
+		Flatten().Dense(12).ReLU().Dropout(0.3).Dense(4).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randBatch(n int, shape []int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	x := tensor.New(append([]int{n}, shape...)...)
+	x.FillNormal(rng, 0, 1)
+	return x
+}
+
+// checkerMasks prunes every other unit of every stage except the output
+// layer (which CAP'NN never prunes).
+func checkerMasks(net *Network) map[int][]bool {
+	stages := net.Stages()
+	masks := map[int][]bool{}
+	for _, st := range stages[:len(stages)-1] {
+		m := make([]bool, st.Unit.Units())
+		for u := range m {
+			m[u] = u%2 == 1
+		}
+		masks[st.Index] = m
+	}
+	return masks
+}
+
+// Infer must reproduce Forward exactly, masked and unmasked: same
+// accumulation order, same pruned-output-stays-zero semantics.
+func TestInferMatchesForward(t *testing.T) {
+	net := inferTestNet(t)
+	x := randBatch(5, net.InShape, 11)
+	for name, masks := range map[string]map[int][]bool{
+		"unmasked": nil,
+		"masked":   checkerMasks(net),
+	} {
+		net.SetPruning(masks)
+		want := net.Forward(x)
+		net.ClearPruning()
+		got := net.Infer(x, masks)
+		if !want.SameShape(got) {
+			t.Fatalf("%s: shape %v vs %v", name, want.Shape(), got.Shape())
+		}
+		for i, w := range want.Data() {
+			if math.Abs(w-got.Data()[i]) > 1e-12 {
+				t.Fatalf("%s: logit %d diverges: Forward %v, Infer %v", name, i, w, got.Data()[i])
+			}
+		}
+	}
+}
+
+// A batched Infer must equal the concatenation of per-sample Infers —
+// the property the serving micro-batcher relies on when it groups
+// requests under one mask.
+func TestInferBatchEqualsPerSample(t *testing.T) {
+	net := inferTestNet(t)
+	masks := checkerMasks(net)
+	const n = 6
+	batch := randBatch(n, net.InShape, 3)
+	got := net.Infer(batch, masks)
+	per := 1
+	for _, d := range net.InShape {
+		per *= d
+	}
+	classes := got.Dim(1)
+	for s := 0; s < n; s++ {
+		one := tensor.MustFromSlice(batch.Data()[s*per:(s+1)*per], append([]int{1}, net.InShape...)...)
+		single := net.Infer(one, masks)
+		for c := 0; c < classes; c++ {
+			if math.Abs(single.Data()[c]-got.Data()[s*classes+c]) > 1e-12 {
+				t.Fatalf("sample %d class %d: batched %v, single %v", s, c, got.Data()[s*classes+c], single.Data()[c])
+			}
+		}
+	}
+}
+
+func TestInferMaskLengthPanics(t *testing.T) {
+	net := inferTestNet(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short mask did not panic")
+		}
+	}()
+	net.Infer(randBatch(1, net.InShape, 1), map[int][]bool{0: {true}})
+}
+
+// The satellite regression for the latent race: stateful Forward mutates
+// per-layer caches and reads installed masks, so concurrent
+// personalization-style mask churn plus serving used to race. Infer
+// reads only the weights; run it from many goroutines while another
+// goroutine installs/clears masks and drives stateful Forwards, and let
+// -race be the judge.
+func TestInferConcurrentWithMaskMutation(t *testing.T) {
+	net := inferTestNet(t)
+	masks := checkerMasks(net)
+	x := randBatch(2, net.InShape, 5)
+	stop := make(chan struct{})
+	var mutator, servers sync.WaitGroup
+	mutator.Add(1)
+	go func() { // the "personalization" side: stateful, mask-mutating
+		defer mutator.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			net.SetPruning(masks)
+			net.Forward(x)
+			net.ClearPruning()
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		servers.Add(1)
+		go func(seed int64) { // the serving side: stateless, mask-as-argument
+			defer servers.Done()
+			mine := randBatch(3, net.InShape, seed)
+			for i := 0; i < 50; i++ {
+				out := net.Infer(mine, masks)
+				if out.Dim(0) != 3 {
+					t.Errorf("bad output shape %v", out.Shape())
+					return
+				}
+			}
+		}(int64(g))
+	}
+	servers.Wait() // serving goroutines finish first; then stop the mutator
+	close(stop)
+	mutator.Wait()
+}
+
+func BenchmarkInferVsForward(b *testing.B) {
+	net := inferTestNet(b)
+	masks := checkerMasks(net)
+	x := randBatch(8, net.InShape, 2)
+	b.Run("forward", func(b *testing.B) {
+		net.SetPruning(masks)
+		defer net.ClearPruning()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			net.Forward(x)
+		}
+	})
+	b.Run("infer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			net.Infer(x, masks)
+		}
+	})
+}

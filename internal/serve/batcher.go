@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/nn"
+	"capnn/internal/tensor"
+)
+
+// request is one admitted inference riding the batcher: its input
+// sample (flattened [C,H,W]), the mask entry it forwards under, and the
+// channel its outcome lands on (buffered; the flusher never blocks).
+type request struct {
+	entry    *maskEntry
+	x        []float64
+	enqueued time.Time
+	done     chan outcome
+}
+
+type outcome struct {
+	logits []float64
+	batch  int // size of the group this request was flushed in
+	err    error
+}
+
+// group is the pending micro-batch for one mask key. Its timer fires the
+// MaxWait flush; dispatching marks it flushed so the racing path
+// (timer vs MaxBatch) becomes a no-op.
+type group struct {
+	entry   *maskEntry
+	reqs    []*request
+	timer   *time.Timer
+	flushed bool
+}
+
+// batcher queues admitted requests, groups them by mask key, and flushes
+// each group — when it reaches maxBatch or its maxWait timer fires —
+// through a fixed worker pool that runs one batched masked forward per
+// group. Admission is bounded: more than maxQueue requests in flight and
+// submit sheds with CodeBusy, the same discipline as internal/cloud.
+type batcher struct {
+	net      *nn.Network
+	sample   int // flattened per-sample input length
+	inShape  []int
+	maxBatch int
+	maxWait  time.Duration
+	maxQueue int
+	st       *stats
+
+	mu      sync.Mutex
+	pending map[string]*group
+	queued  int // admitted, not yet completed
+	closed  bool
+
+	flushCh chan *group
+	workers sync.WaitGroup
+
+	// hookBeforeFlush, when set by tests, runs in the worker just before
+	// the batched forward — a place to stall the pool deterministically.
+	hookBeforeFlush func(*group)
+}
+
+func newBatcher(net *nn.Network, maxBatch int, maxWait time.Duration, maxQueue, workers int, st *stats) *batcher {
+	per := 1
+	for _, d := range net.InShape {
+		per *= d
+	}
+	b := &batcher{
+		net:      net,
+		sample:   per,
+		inShape:  append([]int(nil), net.InShape...),
+		maxBatch: maxBatch,
+		maxWait:  maxWait,
+		maxQueue: maxQueue,
+		st:       st,
+		pending:  map[string]*group{},
+		// Undrained groups never outnumber queued requests, and queued is
+		// capped at maxQueue — so a maxQueue-deep buffer lets dispatchers
+		// send while holding b.mu without ever blocking. Sending under
+		// the lock is what makes close() safe: once close() has swept
+		// pending under the lock, no later sender can race the channel
+		// close.
+		flushCh: make(chan *group, maxQueue),
+	}
+	for i := 0; i < workers; i++ {
+		b.workers.Add(1)
+		go b.worker()
+	}
+	return b
+}
+
+// depth reports admitted-but-uncompleted requests (the queue gauge).
+func (b *batcher) depth() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.queued
+}
+
+// submit queues one request, flushing its group if that fills it.
+// The returned error is a typed *Error (busy or closed); on success the
+// caller waits on r.done.
+func (b *batcher) submit(r *request) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("server closed")}
+	}
+	if b.queued >= b.maxQueue {
+		b.mu.Unlock()
+		b.st.shed()
+		return &Error{Code: cloud.CodeBusy, Err: fmt.Errorf("queue full (%d in flight), retry with backoff", b.maxQueue)}
+	}
+	b.queued++
+	key := r.entry.key
+	g, ok := b.pending[key]
+	if !ok {
+		g = &group{entry: r.entry}
+		b.pending[key] = g
+		if b.maxWait > 0 {
+			g.timer = time.AfterFunc(b.maxWait, func() { b.flushKey(key, g) })
+		}
+	}
+	g.reqs = append(g.reqs, r)
+	if len(g.reqs) >= b.maxBatch {
+		if full := b.detachLocked(key, g); full != nil {
+			b.flushCh <- full
+		}
+	}
+	b.mu.Unlock()
+	return nil
+}
+
+// flushKey is the MaxWait timer path: flush g if it is still pending.
+func (b *batcher) flushKey(key string, g *group) {
+	b.mu.Lock()
+	if detached := b.detachLocked(key, g); detached != nil {
+		b.flushCh <- detached
+	}
+	b.mu.Unlock()
+}
+
+// detachLocked removes g from pending and claims it for dispatch; nil if
+// another path (timer vs full-batch) already did. Caller holds b.mu.
+func (b *batcher) detachLocked(key string, g *group) *group {
+	if g.flushed {
+		return nil
+	}
+	g.flushed = true
+	if g.timer != nil {
+		g.timer.Stop()
+	}
+	delete(b.pending, key)
+	return g
+}
+
+func (b *batcher) worker() {
+	defer b.workers.Done()
+	for g := range b.flushCh {
+		b.runGroup(g)
+	}
+}
+
+// runGroup executes one batched masked forward and fans the logits out
+// to the group's requests. A panic anywhere inside fails the group's
+// requests with CodeInternal instead of killing the worker.
+func (b *batcher) runGroup(g *group) {
+	flushStart := time.Now()
+	defer func() {
+		b.mu.Lock()
+		b.queued -= len(g.reqs)
+		b.mu.Unlock()
+		if r := recover(); r != nil {
+			err := &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("batch forward: %v", r)}
+			for _, req := range g.reqs {
+				req.done <- outcome{err: err}
+			}
+			for range g.reqs {
+				b.st.completed()
+			}
+		}
+	}()
+	if b.hookBeforeFlush != nil {
+		b.hookBeforeFlush(g)
+	}
+
+	n := len(g.reqs)
+	waits := make([]time.Duration, n)
+	batch := tensor.New(append([]int{n}, b.inShape...)...)
+	bd := batch.Data()
+	for i, req := range g.reqs {
+		copy(bd[i*b.sample:(i+1)*b.sample], req.x)
+		waits[i] = flushStart.Sub(req.enqueued)
+	}
+
+	fwdStart := time.Now()
+	out := b.net.Infer(batch, g.entry.masks)
+	b.st.flushed(n, waits, time.Since(fwdStart))
+
+	classes := out.Dim(1)
+	od := out.Data()
+	for i, req := range g.reqs {
+		logits := make([]float64, classes)
+		copy(logits, od[i*classes:(i+1)*classes])
+		req.done <- outcome{logits: logits, batch: n}
+		b.st.completed()
+	}
+}
+
+// close stops admission, flushes every pending group so no admitted
+// request is stranded, and waits for the workers to drain.
+func (b *batcher) close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	for key, g := range b.pending {
+		if d := b.detachLocked(key, g); d != nil {
+			b.flushCh <- d
+		}
+	}
+	b.mu.Unlock()
+	close(b.flushCh)
+	b.workers.Wait()
+}

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// maskEntry is one cached personalization: the per-stage prune masks for
+// a canonical (variant, preference-key) pair, plus the pruning counts
+// for observability. Entries are immutable once published — groups
+// forward under them concurrently without copying.
+type maskEntry struct {
+	key                     string
+	masks                   map[int][]bool
+	prunedUnits, totalUnits int
+}
+
+// flight is one in-progress personalization. Joiners block on done and
+// then read entry/err; both are written exactly once before done closes.
+type flight struct {
+	done  chan struct{}
+	entry *maskEntry
+	err   error
+}
+
+// maskCache is an LRU of maskEntries with singleflight fill: N
+// concurrent first-requests for one key run the fill function exactly
+// once, and the N−1 joiners wait for it. A failed fill is never cached —
+// the flight's error fans out to its joiners and the next request for
+// that key personalizes again.
+type maskCache struct {
+	cap int
+	st  *stats
+
+	mu      sync.Mutex
+	lru     *list.List               // front = most recent; values are *maskEntry
+	entries map[string]*list.Element // key → lru element
+	flights map[string]*flight
+}
+
+func newMaskCache(capacity int, st *stats) *maskCache {
+	return &maskCache{
+		cap:     capacity,
+		st:      st,
+		lru:     list.New(),
+		entries: map[string]*list.Element{},
+		flights: map[string]*flight{},
+	}
+}
+
+// len reports the resident entry count.
+func (c *maskCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// get returns the cached entry for key, or fills it. The bool reports a
+// cache hit (false for both fresh fills and singleflight joins). fill
+// runs outside the cache lock, so a slow personalization never blocks
+// hits on other keys.
+func (c *maskCache) get(key string, fill func() (*maskEntry, error)) (*maskEntry, bool, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.st.cacheHit()
+		return el.Value.(*maskEntry), true, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.mu.Unlock()
+		c.st.flightShared()
+		<-f.done
+		return f.entry, false, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.mu.Unlock()
+	c.st.cacheMiss()
+
+	f.entry, f.err = fill()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		// While our flight was registered no other fill could run for
+		// this key, so a plain insert cannot clobber a fresher entry.
+		c.entries[key] = c.lru.PushFront(f.entry)
+		for c.lru.Len() > c.cap {
+			tail := c.lru.Back()
+			c.lru.Remove(tail)
+			delete(c.entries, tail.Value.(*maskEntry).key)
+			c.st.evicted()
+		}
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.entry, false, f.err
+}

@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/core"
+)
+
+// The wire format deliberately mirrors internal/cloud: gob over TCP, one
+// request/response pair per connection, cloud.ProtocolVersion stamps,
+// cloud.Code outcome classification, and the same deadline/size-cap
+// discipline against slow or abusive peers. A device that already
+// speaks the personalization protocol needs no new error handling to
+// speak the inference protocol.
+
+// WireRequest is one inference over the wire: the user's preferences
+// (same fields as cloud.Request) plus the input sample, flattened in
+// the model's [C,H,W] order.
+type WireRequest struct {
+	// Version is the protocol version the client speaks (cloud versioning).
+	Version int
+	// Variant is "B", "W", "M", or "" for the server default.
+	Variant string
+	Classes []int
+	Weights []float64
+	// Input is the flattened per-sample tensor.
+	Input []float64
+}
+
+// WireResponse carries the logits or a typed error.
+type WireResponse struct {
+	Version int
+	Code    cloud.Code
+	Err     string
+	// Logits are the class scores; Class is their argmax. Batch reports
+	// the micro-batch size the request was served in and CacheHit
+	// whether its masks were already cached — observability a client or
+	// load test can assert on.
+	Logits   []float64
+	Class    int
+	Batch    int
+	CacheHit bool
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	return s.Serve(ln), nil
+}
+
+// Serve accepts connections from ln — which may be wrapped, e.g. with
+// internal/faults fault injection — until Close is called, and returns
+// the listener's address.
+func (s *Server) Serve(ln net.Listener) string {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				defer conn.Close()
+				defer func() { _ = recover() }() // a handler panic must not kill the server
+				s.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// handle runs one request/response exchange with the cloud server's
+// peer discipline: a read deadline so a hung client cannot hold the
+// goroutine, a size cap on the decoder, and a write deadline for peers
+// that stop reading.
+func (s *Server) handle(conn net.Conn) {
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	dec := gob.NewDecoder(io.LimitReader(conn, s.cfg.MaxRequestBytes))
+	var req WireRequest
+	if err := dec.Decode(&req); err != nil {
+		s.respond(conn, &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: fmt.Sprintf("decode: %v", err)})
+		return
+	}
+	s.respond(conn, s.Handle(req))
+}
+
+func (s *Server) respond(conn net.Conn, resp *WireResponse) {
+	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+	_ = gob.NewEncoder(conn).Encode(resp)
+}
+
+// Handle executes one wire request against the serving pipeline —
+// exposed so the protocol can be exercised without sockets.
+func (s *Server) Handle(req WireRequest) *WireResponse {
+	if req.Version > cloud.ProtocolVersion {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("protocol version %d not supported (server speaks ≤ %d)", req.Version, cloud.ProtocolVersion)}
+	}
+	v := s.cfg.Variant
+	switch req.Variant {
+	case "":
+	case "B", "b":
+		v = core.VariantB
+	case "W", "w":
+		v = core.VariantW
+	case "M", "m":
+		v = core.VariantM
+	default:
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("unknown variant %q (want B, W or M)", req.Variant)}
+	}
+	var prefs core.Preferences
+	if req.Weights == nil {
+		prefs = core.Uniform(req.Classes)
+	} else {
+		var err error
+		prefs, err = core.Weighted(req.Classes, req.Weights)
+		if err != nil {
+			return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: err.Error()}
+		}
+	}
+	prefs.Normalize()
+
+	res, err := s.infer(v, prefs, req.Input)
+	if err != nil {
+		te := err.(*Error)
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: te.Code, Err: te.Err.Error()}
+	}
+	return &WireResponse{
+		Version:  cloud.ProtocolVersion,
+		Code:     cloud.CodeOK,
+		Logits:   res.Logits,
+		Class:    res.Class,
+		Batch:    res.Batch,
+		CacheHit: res.CacheHit,
+	}
+}
+
+// Client requests inferences from a serve.Server over TCP. Unlike the
+// model-fetching cloud.Client it keeps no retry loop of its own: an
+// inference is cheap to reissue, so callers decide retry policy from
+// the typed *Error codes.
+type Client struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// DialTimeout bounds establishing the connection; RequestTimeout
+	// bounds the round trip once connected.
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+}
+
+// NewClient builds a client with 5s dial / 30s round-trip timeouts.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, DialTimeout: 5 * time.Second, RequestTimeout: 30 * time.Second}
+}
+
+// Infer sends one request and decodes the response. Failures are typed
+// *Error values: transport faults map to CodeInternal (retryable),
+// server-reported outcomes keep their code.
+func (c *Client) Infer(req WireRequest) (*WireResponse, error) {
+	req.Version = cloud.ProtocolVersion
+	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
+	if err != nil {
+		return nil, &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("dial %s: %w", c.Addr, err)}
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(c.RequestTimeout)); err != nil {
+		return nil, &Error{Code: cloud.CodeInternal, Err: err}
+	}
+	if err := gob.NewEncoder(conn).Encode(&req); err != nil {
+		return nil, &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("send: %w", err)}
+	}
+	var resp WireResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return nil, &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("receive: %w", err)}
+	}
+	if resp.Code != cloud.CodeOK {
+		return nil, &Error{Code: resp.Code, Err: errors.New(resp.Err)}
+	}
+	return &resp, nil
+}

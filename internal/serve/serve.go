@@ -1,0 +1,297 @@
+// Package serve is CAP'NN's multi-user inference serving layer: the
+// piece that turns a personalization system into something that answers
+// "heavy traffic from millions of users" (ROADMAP north star). The key
+// observation — shared with SECS-style class-skew stream processing —
+// is that users with identical class preferences share one pruned
+// variant of the base model, so serving-time work deduplicates along
+// two axes:
+//
+//   - a mask cache keyed by core.Preferences.Key() makes each distinct
+//     preference vector pay for personalization once (singleflight: N
+//     concurrent first-requests run one System.Prune), and
+//   - a dynamic micro-batcher groups queued requests by mask key and
+//     executes one batched masked forward per group (nn.Network.Infer,
+//     which takes the mask as an argument precisely so concurrent
+//     groups can share the base weights without racing).
+//
+// Admission control follows internal/cloud: bounded in-flight work,
+// typed busy shedding (cloud.Code), read/write deadlines on the wire,
+// and panic recovery in the workers.
+package serve
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/core"
+	"capnn/internal/tensor"
+)
+
+// Config tunes the serving layer. Zero fields take DefaultConfig values.
+type Config struct {
+	// Variant is the pruning scheme used when a request does not name
+	// one ("B", "W" or "M" on the wire). Default CAP'NN-M.
+	Variant core.Variant
+	// MaxBatch flushes a mask group as soon as it holds this many
+	// requests. Default 8.
+	MaxBatch int
+	// MaxWait flushes a non-full group this long after its first
+	// request, bounding tail latency under light traffic. Default 2ms.
+	MaxWait time.Duration
+	// Workers sizes the flush worker pool. Default GOMAXPROCS(0).
+	Workers int
+	// CacheCap bounds the mask cache (LRU entries). Default 256.
+	CacheCap int
+	// MaxQueue bounds admitted-but-uncompleted requests; excess is shed
+	// with CodeBusy, never queued unboundedly. Default 1024.
+	MaxQueue int
+	// RequestTimeout bounds one request's total time in the server
+	// (personalize + queue + forward); expiry returns CodeBusy so
+	// clients back off. Default 30s.
+	RequestTimeout time.Duration
+	// ReadTimeout / WriteTimeout / MaxRequestBytes are the TCP framing
+	// limits, with the same semantics as cloud.Config. Defaults 30s /
+	// 30s / 1MiB.
+	ReadTimeout, WriteTimeout time.Duration
+	MaxRequestBytes           int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		Variant:         core.VariantM,
+		MaxBatch:        8,
+		MaxWait:         2 * time.Millisecond,
+		Workers:         runtime.GOMAXPROCS(0),
+		CacheCap:        256,
+		MaxQueue:        1024,
+		RequestTimeout:  30 * time.Second,
+		ReadTimeout:     30 * time.Second,
+		WriteTimeout:    30 * time.Second,
+		MaxRequestBytes: 1 << 20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Variant == "" {
+		c.Variant = d.Variant
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = d.MaxBatch
+	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = d.MaxWait
+	}
+	if c.Workers <= 0 {
+		c.Workers = d.Workers
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = d.CacheCap
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = d.MaxQueue
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = d.MaxRequestBytes
+	}
+	return c
+}
+
+// Error is the typed failure the serving layer returns; Code reuses the
+// cloud protocol's classification so clients share one retry policy.
+type Error struct {
+	Code cloud.Code
+	Err  error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("serve: [%s] %v", e.Code, e.Err) }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *Error) Unwrap() error { return e.Err }
+
+// Retryable defers to the code: busy and internal faults may clear.
+func (e *Error) Retryable() bool { return e.Code.Retryable() }
+
+// Result is one request's answer.
+type Result struct {
+	// Logits are the raw class scores; Class is their argmax.
+	Logits []float64
+	Class  int
+	// Batch is the size of the micro-batch this request was served in;
+	// CacheHit reports whether its masks came from the cache.
+	Batch    int
+	CacheHit bool
+}
+
+// Server is the concurrent inference server. It owns a prepared
+// core.System whose network supplies the shared weights; weights are
+// never mutated while serving, so any number of groups forward
+// concurrently, each under its own cached mask.
+type Server struct {
+	sys   *core.System
+	cfg   Config
+	st    *stats
+	cache *maskCache
+	batch *batcher
+
+	// personalizeMu serializes System.Prune runs: the pruning algorithms
+	// share the system's suffix evaluator and mutate masks on the shared
+	// network while measuring candidates. Inference (mask-as-argument
+	// Infer) runs concurrently with this by design.
+	personalizeMu sync.Mutex
+
+	// hookPersonalize, when set by tests, observes every System.Prune
+	// execution (not cache hits or singleflight joins).
+	hookPersonalize func(prefs core.Preferences)
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+}
+
+// NewServer wraps a prepared system with the default Config.
+func NewServer(sys *core.System) *Server { return NewServerWith(sys, Config{}) }
+
+// NewServerWith wraps a prepared system with explicit limits.
+func NewServerWith(sys *core.System, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	st := newStats()
+	return &Server{
+		sys:   sys,
+		cfg:   cfg,
+		st:    st,
+		cache: newMaskCache(cfg.CacheCap, st),
+		batch: newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, cfg.Workers, st),
+	}
+}
+
+// Stats snapshots the serving metrics.
+func (s *Server) Stats() Stats { return s.st.snapshot(s.cache.len(), s.batch.depth()) }
+
+// Infer serves one sample x (per-sample shape, no batch dimension) for
+// a user with the given preferences under the server's default variant.
+// It blocks until the micro-batch the request lands in is flushed, or
+// fails with a typed *Error.
+func (s *Server) Infer(prefs core.Preferences, x *tensor.Tensor) (Result, error) {
+	return s.infer(s.cfg.Variant, prefs, x.Data())
+}
+
+// InferVariant is Infer under an explicit pruning variant.
+func (s *Server) InferVariant(v core.Variant, prefs core.Preferences, x *tensor.Tensor) (Result, error) {
+	return s.infer(v, prefs, x.Data())
+}
+
+func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Result, error) {
+	switch v {
+	case core.VariantB, core.VariantW, core.VariantM:
+	default:
+		return Result{}, &Error{Code: cloud.CodeBadRequest, Err: fmt.Errorf("unknown variant %q", v)}
+	}
+	if err := prefs.Validate(s.sys.Rates.Classes); err != nil {
+		return Result{}, &Error{Code: cloud.CodeBadRequest, Err: err}
+	}
+	if len(x) != s.batch.sample {
+		return Result{}, &Error{Code: cloud.CodeBadRequest,
+			Err: fmt.Errorf("input has %d values, want %d for shape %v", len(x), s.batch.sample, s.batch.inShape)}
+	}
+	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	defer deadline.Stop()
+
+	// The cache key spans variant and canonical preferences: the same
+	// classes pruned by W and M are different masks.
+	key := string(v) + "/" + prefs.Key()
+	entry, hit, err := s.cache.get(key, func() (*maskEntry, error) {
+		return s.personalize(v, prefs, key)
+	})
+	if err != nil {
+		if te, ok := err.(*Error); ok {
+			return Result{}, te
+		}
+		return Result{}, &Error{Code: cloud.CodeInternal, Err: err}
+	}
+	req := &request{entry: entry, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
+	if err := s.batch.submit(req); err != nil {
+		return Result{}, err.(*Error)
+	}
+	s.st.admitted()
+	select {
+	case out := <-req.done:
+		if out.err != nil {
+			return Result{}, out.err
+		}
+		return Result{
+			Logits:   out.logits,
+			Class:    tensor.Argmax(out.logits),
+			Batch:    out.batch,
+			CacheHit: hit,
+		}, nil
+	case <-deadline.C:
+		// The flush will still complete and drop its outcome into the
+		// buffered channel; only this waiter gives up.
+		return Result{}, &Error{Code: cloud.CodeBusy,
+			Err: fmt.Errorf("request deadline %v exceeded in queue", s.cfg.RequestTimeout)}
+	}
+}
+
+// personalize is the cache fill: one System.Prune run under the
+// personalization lock. A panic inside the pruning algorithms is
+// recovered into a typed internal error — and not cached.
+func (s *Server) personalize(v core.Variant, prefs core.Preferences, key string) (entry *maskEntry, err error) {
+	s.personalizeMu.Lock()
+	defer s.personalizeMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			s.sys.Net.ClearPruning() // never leave a half-installed mask behind
+			entry, err = nil, &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("personalize: %v", r)}
+		}
+	}()
+	if s.hookPersonalize != nil {
+		s.hookPersonalize(prefs)
+	}
+	start := time.Now()
+	masks, perr := s.sys.Prune(v, prefs)
+	if perr != nil {
+		return nil, &Error{Code: cloud.CodeInternal, Err: perr}
+	}
+	s.st.personalized(time.Since(start))
+	e := &maskEntry{key: key, masks: masks}
+	for _, m := range masks {
+		for _, p := range m {
+			e.totalUnits++
+			if p {
+				e.prunedUnits++
+			}
+		}
+	}
+	return e, nil
+}
+
+// Close stops the listener (if serving TCP), drains the batcher, and
+// waits for in-flight work.
+func (s *Server) Close() error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.lnMu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	s.batch.close()
+	return err
+}

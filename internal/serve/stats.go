@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of a Server's serving metrics — the
+// seed of the observability layer. All counters are cumulative since the
+// server started; QueueDepth and CacheEntries are instantaneous.
+type Stats struct {
+	// Requests counts admitted inference requests; Completed counts the
+	// subset that produced a response (success or per-request failure);
+	// Shed counts requests rejected at admission with CodeBusy.
+	Requests, Completed, Shed uint64
+
+	// CacheHits/CacheMisses classify mask-cache lookups; a miss runs a
+	// personalization. SingleflightShared counts lookups that joined an
+	// in-flight personalization instead of starting their own.
+	// CacheEvictions counts LRU evictions; CacheEntries is the current
+	// resident count.
+	CacheHits, CacheMisses, SingleflightShared, CacheEvictions uint64
+	CacheEntries                                               int
+
+	// Batches counts group flushes; BatchHistogram maps flushed group
+	// size to its occurrence count.
+	Batches        uint64
+	BatchHistogram map[int]uint64
+
+	// QueueDepth is the number of admitted requests not yet completed.
+	QueueDepth int
+
+	// Per-stage cumulative latencies with their sample counts:
+	// Personalize covers System.Prune runs (cache misses only),
+	// QueueWait covers submit→flush per request, Forward covers the
+	// batched masked forward per group.
+	PersonalizeNs, QueueWaitNs, ForwardNs       int64
+	PersonalizeRuns, QueueWaitObs, ForwardFlushes uint64
+}
+
+// MeanBatch is the average flushed group size.
+func (s Stats) MeanBatch() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	total := uint64(0)
+	for size, n := range s.BatchHistogram {
+		total += uint64(size) * n
+	}
+	return float64(total) / float64(s.Batches)
+}
+
+// MeanPersonalize / MeanQueueWait / MeanForward are the per-stage mean
+// latencies (zero when the stage never ran).
+func (s Stats) MeanPersonalize() time.Duration { return meanNs(s.PersonalizeNs, s.PersonalizeRuns) }
+func (s Stats) MeanQueueWait() time.Duration   { return meanNs(s.QueueWaitNs, s.QueueWaitObs) }
+func (s Stats) MeanForward() time.Duration     { return meanNs(s.ForwardNs, s.ForwardFlushes) }
+
+func meanNs(total int64, n uint64) time.Duration {
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(total / int64(n))
+}
+
+// String renders the snapshot as a compact one-report block for logs and
+// the capnn-serve stats dump.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "requests=%d completed=%d shed=%d queue=%d\n", s.Requests, s.Completed, s.Shed, s.QueueDepth)
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d\n",
+		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries)
+	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
+	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v",
+		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward())
+	return b.String()
+}
+
+func (s Stats) histogram() string {
+	if len(s.BatchHistogram) == 0 {
+		return "{}"
+	}
+	sizes := make([]int, 0, len(s.BatchHistogram))
+	for size := range s.BatchHistogram {
+		sizes = append(sizes, size)
+	}
+	sort.Ints(sizes)
+	parts := make([]string, len(sizes))
+	for i, size := range sizes {
+		parts[i] = fmt.Sprintf("%d:%d", size, s.BatchHistogram[size])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// stats is the live, locked accumulator behind Stats snapshots. A plain
+// mutex keeps the histogram and multi-field updates consistent; every
+// update is far off the forward pass's critical path.
+type stats struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func newStats() *stats {
+	return &stats{s: Stats{BatchHistogram: map[int]uint64{}}}
+}
+
+func (st *stats) snapshot(cacheEntries, queueDepth int) Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := st.s
+	out.BatchHistogram = make(map[int]uint64, len(st.s.BatchHistogram))
+	for k, v := range st.s.BatchHistogram {
+		out.BatchHistogram[k] = v
+	}
+	out.CacheEntries = cacheEntries
+	out.QueueDepth = queueDepth
+	return out
+}
+
+func (st *stats) admitted()  { st.add(func(s *Stats) { s.Requests++ }) }
+func (st *stats) completed() { st.add(func(s *Stats) { s.Completed++ }) }
+func (st *stats) shed()      { st.add(func(s *Stats) { s.Shed++ }) }
+func (st *stats) cacheHit()  { st.add(func(s *Stats) { s.CacheHits++ }) }
+func (st *stats) cacheMiss() { st.add(func(s *Stats) { s.CacheMisses++ }) }
+func (st *stats) flightShared() {
+	st.add(func(s *Stats) { s.SingleflightShared++ })
+}
+func (st *stats) evicted() { st.add(func(s *Stats) { s.CacheEvictions++ }) }
+
+func (st *stats) personalized(d time.Duration) {
+	st.add(func(s *Stats) { s.PersonalizeNs += int64(d); s.PersonalizeRuns++ })
+}
+
+// flushed records one group flush: its size, the per-request queue
+// waits, and the batched forward latency.
+func (st *stats) flushed(size int, queueWait []time.Duration, forward time.Duration) {
+	st.add(func(s *Stats) {
+		s.Batches++
+		s.BatchHistogram[size]++
+		for _, w := range queueWait {
+			s.QueueWaitNs += int64(w)
+			s.QueueWaitObs++
+		}
+		s.ForwardNs += int64(forward)
+		s.ForwardFlushes++
+	})
+}
+
+func (st *stats) add(f func(*Stats)) {
+	st.mu.Lock()
+	f(&st.s)
+	st.mu.Unlock()
+}
