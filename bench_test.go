@@ -11,6 +11,7 @@
 package capnn
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
@@ -23,6 +24,7 @@ import (
 	"capnn/internal/nn"
 	"capnn/internal/serve"
 	"capnn/internal/tensor"
+	"capnn/internal/train"
 )
 
 var (
@@ -368,6 +370,54 @@ func BenchmarkFiringProfile(b *testing.B) {
 		if _, err := ProfileRates(fx.Net, small, stages); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkProfileRates measures firing-rate profiling throughput as the
+// worker pool widens. Results are bit-identical across sub-benchmarks
+// (see determinism_test.go); only wall-clock should move. On a
+// single-core box the 2- and 4-worker rows only measure scheduling
+// overhead — read them on multi-core hardware.
+func BenchmarkProfileRates(b *testing.B) {
+	fx := mainFixture(b)
+	stages := fx.Sys.Params.Stages
+	small := fx.Sets.Profile.Subset(firstN(fx.Sets.Profile.Len(), 128))
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := firing.ComputeWorkers(fx.Net, small, stages, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*small.Len())/b.Elapsed().Seconds(), "img/s")
+		})
+	}
+}
+
+// BenchmarkTrainStep measures one data-parallel optimizer step (batch 16,
+// the reference training batch size) as the worker pool widens. The
+// trainer splits every batch into the same 8 gradient shards regardless
+// of workers, so the resulting weights are bit-identical across rows.
+func BenchmarkTrainStep(b *testing.B) {
+	fx := mainFixture(b)
+	batch := firstN(fx.Sets.Train.Len(), 16)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			net, err := nn.BuildVGG(nn.DefaultVGGConfig(fx.Config.Synth.Classes))
+			if err != nil {
+				b.Fatal(err)
+			}
+			net.SetTraining(true)
+			tr := train.NewTrainer(net, train.NewSGD(0.05, 0.9, 5e-4), workers, 1)
+			defer tr.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Step(fx.Sets.Train, batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "img/s")
+		})
 	}
 }
 

@@ -40,9 +40,22 @@ import (
 	"capnn/internal/firing"
 	"capnn/internal/hw"
 	"capnn/internal/nn"
+	"capnn/internal/parallel"
 	"capnn/internal/serve"
 	"capnn/internal/train"
 )
+
+// --- parallelism --------------------------------------------------------------
+
+// SetWorkers installs a process-wide worker-count cap for every
+// data-parallel pass (firing-rate profiling, evaluation, data-parallel
+// training). n <= 0 restores the GOMAXPROCS default. Results are
+// bit-identical for every worker count — the knob trades goroutines for
+// wall-clock only. The cmd binaries expose it as -workers.
+func SetWorkers(n int) { parallel.SetDefault(n) }
+
+// Workers reports the worker count data-parallel passes currently use.
+func Workers() int { return parallel.Default() }
 
 // --- model substrate ------------------------------------------------------
 

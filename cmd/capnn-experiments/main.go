@@ -23,12 +23,14 @@ import (
 	"os"
 
 	"capnn/internal/exp"
+	"capnn/internal/profiling"
 )
 
 func main() {
 	artifact := flag.String("artifact", "all", "fig4|fig5|fig6|table1|table2|table3|memory|ablation|claims|all")
 	combos := flag.Int("combos", 0, "random class combinations per configuration (0 = default)")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	perf := profiling.AddFlags()
 	flag.Parse()
 
 	scale := exp.DefaultScale().FromEnv()
@@ -40,7 +42,15 @@ func main() {
 		log = os.Stderr
 	}
 
-	if err := run(*artifact, scale, log); err != nil {
+	if err := perf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "capnn-experiments:", err)
+		os.Exit(1)
+	}
+	err := run(*artifact, scale, log)
+	if perr := perf.Stop(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "capnn-experiments:", err)
 		os.Exit(1)
 	}

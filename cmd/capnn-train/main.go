@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"capnn/internal/exp"
+	"capnn/internal/profiling"
 	"capnn/internal/train"
 )
 
@@ -17,7 +18,12 @@ func main() {
 	noise := flag.Float64("noise", 0, "override generator NoiseStd (0 = fixture default)")
 	groupMix := flag.Float64("groupmix", 0, "override generator GroupMix (0 = fixture default)")
 	epochs := flag.Int("epochs", 0, "override training epochs (0 = fixture default)")
+	perf := profiling.AddFlags()
 	flag.Parse()
+	if err := perf.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	var cfg exp.FixtureConfig
 	switch *model {
 	case "imagenet20":
@@ -46,4 +52,8 @@ func main() {
 	ev := train.Evaluate(fx.Net, fx.Sets.Test)
 	fmt.Printf("%s ready in %v: test top-1 %.3f  top-5 %.3f  params %d\n",
 		cfg.Name, time.Since(start).Round(time.Second), ev.Top1, ev.Top5, fx.Net.ParamCount())
+	if err := perf.Stop(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

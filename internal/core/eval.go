@@ -5,6 +5,7 @@ import (
 
 	"capnn/internal/data"
 	"capnn/internal/nn"
+	"capnn/internal/parallel"
 	"capnn/internal/tensor"
 )
 
@@ -64,29 +65,32 @@ func NewSuffixEvaluator(net *nn.Network, ds *data.Dataset, firstPrunable int) (*
 	}
 
 	ev := &SuffixEvaluator{net: net, suffix: net.Layers[split:], classes: ds.Classes, perCls: make([]int, ds.Classes)}
-	// Run the prefix once over the whole set.
+	// Run the prefix once over the whole set, sharded across workers.
+	// Shards write disjoint regions of the cache via the stateless
+	// nn.InferLayers, so any worker count produces the same bits (the
+	// prefix is verified unmasked above, and InferLayers matches Forward
+	// bit for bit).
 	perShape := net.Layers[split].InShape()
+	per := 1
+	for _, d := range perShape {
+		per *= d
+	}
 	cachedShape := append([]int{ds.Len()}, perShape...)
 	ev.cached = tensor.New(cachedShape...)
-	ev.labels = make([]int, 0, ds.Len())
-	off := 0
-	for start := 0; start < ds.Len(); start += suffixBatch {
-		end := start + suffixBatch
-		if end > ds.Len() {
-			end = ds.Len()
-		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
+	ev.labels = make([]int, ds.Len())
+	prefix := net.Layers[:split]
+	shards := parallel.Shards(ds.Len(), suffixBatch)
+	parallel.For(0, len(shards), func(i int) {
+		sh := shards[i]
+		idx := make([]int, sh.Len())
+		for j := range idx {
+			idx[j] = sh.Lo + j
 		}
 		x, labels := ds.Batch(idx)
-		for _, l := range net.Layers[:split] {
-			x = l.Forward(x)
-		}
-		copy(ev.cached.Data()[off:off+x.Len()], x.Data())
-		off += x.Len()
-		ev.labels = append(ev.labels, labels...)
-	}
+		x = nn.InferLayers(prefix, x)
+		copy(ev.cached.Data()[sh.Lo*per:sh.Hi*per], x.Data())
+		copy(ev.labels[sh.Lo:sh.Hi], labels)
+	})
 	for _, l := range ev.labels {
 		ev.perCls[l]++
 	}
@@ -100,32 +104,41 @@ func (ev *SuffixEvaluator) Classes() int { return ev.classes }
 func (ev *SuffixEvaluator) SampleCount(c int) int { return ev.perCls[c] }
 
 // PerClassAccuracy replays the suffix under the network's current prune
-// masks and returns top-1 accuracy per class. Classes with no samples
-// report 0.
+// masks and returns top-1 accuracy per class, using parallel.Default()
+// workers. Classes with no samples report 0. Each fixed suffixBatch
+// shard replays statelessly (nn.InferLayers reads the installed masks
+// without writing activation caches) and counts integer hits; shard
+// partials merge in shard order, so the result is bit-identical for
+// every worker count. Callers must not mutate masks while a replay is
+// in flight.
 func (ev *SuffixEvaluator) PerClassAccuracy() []float64 {
-	hits := make([]int, ev.classes)
 	n := len(ev.labels)
 	shape := ev.cached.Shape()
 	per := 1
 	for _, d := range shape[1:] {
 		per *= d
 	}
-	for start := 0; start < n; start += suffixBatch {
-		end := start + suffixBatch
-		if end > n {
-			end = n
-		}
-		bshape := append([]int{end - start}, shape[1:]...)
-		x := tensor.MustFromSlice(ev.cached.Data()[start*per:end*per], bshape...)
-		for _, l := range ev.suffix {
-			x = l.Forward(x)
-		}
+	shards := parallel.Shards(n, suffixBatch)
+	parts := make([][]int, len(shards))
+	parallel.For(0, len(shards), func(i int) {
+		sh := shards[i]
+		hits := make([]int, ev.classes)
+		bshape := append([]int{sh.Len()}, shape[1:]...)
+		x := tensor.MustFromSlice(ev.cached.Data()[sh.Lo*per:sh.Hi*per], bshape...)
+		x = nn.InferLayers(ev.suffix, x)
 		c := x.Dim(1)
-		for s := 0; s < end-start; s++ {
+		for s := 0; s < sh.Len(); s++ {
 			pred := tensor.Argmax(x.Data()[s*c : (s+1)*c])
-			if pred == ev.labels[start+s] {
-				hits[ev.labels[start+s]]++
+			if pred == ev.labels[sh.Lo+s] {
+				hits[ev.labels[sh.Lo+s]]++
 			}
+		}
+		parts[i] = hits
+	})
+	hits := make([]int, ev.classes)
+	for _, p := range parts {
+		for c, h := range p {
+			hits[c] += h
 		}
 	}
 	acc := make([]float64, ev.classes)

@@ -12,6 +12,7 @@ import (
 
 	"capnn/internal/data"
 	"capnn/internal/nn"
+	"capnn/internal/parallel"
 	"capnn/internal/tensor"
 )
 
@@ -58,24 +59,35 @@ func (r *Rates) Clone() *Rates {
 	return c
 }
 
-// profileBatch is the forward batch size used while profiling.
+// profileBatch is the forward batch size used while profiling. Shard
+// boundaries derive from it, so it also fixes the parallel decomposition.
 const profileBatch = 32
 
 // Compute profiles the network over ds and returns the firing-rate
-// matrices for the given stage indices. The dataset should contain an
-// equal number of samples per class (paper §III); classes with zero
-// samples yield zero rates. The network's current prune masks are
-// respected (masked units simply never fire), but profiling is normally
-// done on the unpruned model.
+// matrices for the given stage indices, using parallel.Default() workers.
+// The dataset should contain an equal number of samples per class (paper
+// §III); classes with zero samples yield zero rates. The network's
+// current prune masks are respected (masked units simply never fire),
+// but profiling is normally done on the unpruned model.
 func Compute(net *nn.Network, ds *data.Dataset, stageIdx []int) (*Rates, error) {
+	return ComputeWorkers(net, ds, stageIdx, 0)
+}
+
+// ComputeWorkers is Compute with an explicit worker count (<= 0 means
+// parallel.Default()). The dataset is split into fixed profileBatch
+// shards; each shard counts integer firing events into its own partial
+// matrices via the stateless Network.InferObserved, and partials are
+// merged in shard order. Firing counts are integers, so the merged
+// totals — and hence the rates — are bit-identical for every worker
+// count.
+func ComputeWorkers(net *nn.Network, ds *data.Dataset, stageIdx []int, workers int) (*Rates, error) {
 	stages := net.Stages()
-	res := &Rates{Classes: ds.Classes, Layers: make(map[int]*LayerRates, len(stageIdx))}
-	type acc struct {
-		stage *nn.Stage
-		sum   []float64 // units × classes accumulated firing fractions
-	}
-	accs := make([]*acc, 0, len(stageIdx))
-	for _, si := range stageIdx {
+	// stagePos maps profiled stage index → position in the accumulator
+	// arrays; unitSize is the per-unit feature-map size (1 for dense).
+	stagePos := make(map[int]int, len(stageIdx))
+	unitSizes := make([]int, len(stageIdx))
+	units := make([]int, len(stageIdx))
+	for i, si := range stageIdx {
 		if si < 0 || si >= len(stages) {
 			return nil, fmt.Errorf("firing: stage %d outside [0,%d)", si, len(stages))
 		}
@@ -83,74 +95,91 @@ func Compute(net *nn.Network, ds *data.Dataset, stageIdx []int) (*Rates, error) 
 		if st.Act == nil {
 			return nil, fmt.Errorf("firing: stage %d (%s) has no ReLU to observe", si, st.Unit.Name())
 		}
-		a := &acc{stage: &stages[si], sum: make([]float64, st.Unit.Units()*ds.Classes)}
-		accs = append(accs, a)
+		stagePos[si] = i
+		units[i] = st.Unit.Units()
+		unitSizes[i] = 1
+		if outShape := st.Unit.OutShape(); len(outShape) == 3 {
+			unitSizes[i] = outShape[1] * outShape[2]
+		}
 	}
 
-	// batchLabels carries the current batch's labels into the hooks.
-	var batchLabels []int
-	for _, a := range accs {
-		a := a
-		units := a.stage.Unit.Units()
-		outShape := a.stage.Unit.OutShape()
-		unitSize := 1
-		if len(outShape) == 3 {
-			unitSize = outShape[1] * outShape[2]
+	masks := net.Masks()
+	shards := parallel.Shards(ds.Len(), profileBatch)
+
+	// One partial result per shard: integer firing counts per profiled
+	// stage (units × classes) plus the shard's class census.
+	type partial struct {
+		fired    [][]int64
+		perClass []int
+	}
+	parts := make([]partial, len(shards))
+	parallel.For(workers, len(shards), func(i int) {
+		sh := shards[i]
+		idx := make([]int, sh.Len())
+		for j := range idx {
+			idx[j] = sh.Lo + j
 		}
-		a.stage.Act.Hook = func(out *tensor.Tensor) {
-			d := out.Data()
-			n := out.Dim(0)
-			for s := 0; s < n; s++ {
-				class := batchLabels[s]
-				base := s * units * unitSize
-				for u := 0; u < units; u++ {
-					fired := 0
-					row := d[base+u*unitSize : base+(u+1)*unitSize]
-					for _, v := range row {
+		x, labels := ds.Batch(idx)
+		p := partial{fired: make([][]int64, len(stageIdx)), perClass: make([]int, ds.Classes)}
+		for j := range p.fired {
+			p.fired[j] = make([]int64, units[j]*ds.Classes)
+		}
+		net.InferObserved(x, masks, func(stage int, post *tensor.Tensor) {
+			pos, ok := stagePos[stage]
+			if !ok {
+				return
+			}
+			u, usz := units[pos], unitSizes[pos]
+			d := post.Data()
+			for s := 0; s < post.Dim(0); s++ {
+				class := labels[s]
+				base := s * u * usz
+				for un := 0; un < u; un++ {
+					fired := int64(0)
+					for _, v := range d[base+un*usz : base+(un+1)*usz] {
 						if v > 0 {
 							fired++
 						}
 					}
-					a.sum[u*ds.Classes+class] += float64(fired) / float64(unitSize)
+					p.fired[pos][un*ds.Classes+class] += fired
 				}
+			}
+		})
+		for _, l := range labels {
+			p.perClass[l]++
+		}
+		parts[i] = p
+	})
+
+	// Merge in shard order. Integer addition is exactly associative, so
+	// this is belt and braces — any order would yield the same totals.
+	perClass := make([]int, ds.Classes)
+	totals := make([][]int64, len(stageIdx))
+	for i := range totals {
+		totals[i] = make([]int64, units[i]*ds.Classes)
+	}
+	for _, p := range parts {
+		for c, n := range p.perClass {
+			perClass[c] += n
+		}
+		for i := range totals {
+			for k, v := range p.fired[i] {
+				totals[i][k] += v
 			}
 		}
 	}
-	defer func() {
-		for _, a := range accs {
-			a.stage.Act.Hook = nil
-		}
-	}()
 
-	perClass := make([]int, ds.Classes)
-	for start := 0; start < ds.Len(); start += profileBatch {
-		end := start + profileBatch
-		if end > ds.Len() {
-			end = ds.Len()
-		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
-		}
-		var x *tensor.Tensor
-		x, batchLabels = ds.Batch(idx)
-		net.Forward(x)
-		for _, l := range batchLabels {
-			perClass[l]++
-		}
-	}
-
-	for i, a := range accs {
-		units := a.stage.Unit.Units()
-		lr := &LayerRates{Stage: stageIdx[i], Units: units, Classes: ds.Classes, F: make([]float64, units*ds.Classes)}
-		for u := 0; u < units; u++ {
+	res := &Rates{Classes: ds.Classes, Layers: make(map[int]*LayerRates, len(stageIdx))}
+	for i, si := range stageIdx {
+		lr := &LayerRates{Stage: si, Units: units[i], Classes: ds.Classes, F: make([]float64, units[i]*ds.Classes)}
+		for u := 0; u < units[i]; u++ {
 			for c := 0; c < ds.Classes; c++ {
 				if perClass[c] > 0 {
-					lr.F[u*ds.Classes+c] = a.sum[u*ds.Classes+c] / float64(perClass[c])
+					lr.F[u*ds.Classes+c] = float64(totals[i][u*ds.Classes+c]) / (float64(unitSizes[i]) * float64(perClass[c]))
 				}
 			}
 		}
-		res.Layers[stageIdx[i]] = lr
+		res.Layers[si] = lr
 	}
 	return res, nil
 }

@@ -74,7 +74,8 @@ func (c *Conv2D) SetPruned(pruned []bool) {
 	c.pruned = copyMask(pruned)
 }
 
-// Forward computes the convolution for a batch x of shape [N, inC, inH, inW].
+// Forward computes the convolution for a batch x of shape [N, inC, inH, inW]
+// via the shared im2col kernel (see kernels.go).
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	c.lastIn = x
@@ -82,50 +83,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	xd, od := x.Data(), out.Data()
 	wd, bd := c.w.W.Data(), c.b.W.Data()
 
-	inHW := c.inH * c.inW
-	outHW := c.outH * c.outW
+	g := c.geom()
+	inSz, outSz := g.inSize(), g.outSize()
+	colsBuf := getScratch(g.colsSize())
+	cols := *colsBuf
 	for s := 0; s < n; s++ {
-		xBase := s * c.inC * inHW
-		oBase := s * c.outC * outHW
-		for oc := 0; oc < c.outC; oc++ {
-			if c.pruned != nil && c.pruned[oc] {
-				continue // pruned channel: output stays zero
-			}
-			oRow := od[oBase+oc*outHW : oBase+(oc+1)*outHW]
-			bias := bd[oc]
-			for i := range oRow {
-				oRow[i] = bias
-			}
-			wBase := oc * c.inC * c.k * c.k
-			for ic := 0; ic < c.inC; ic++ {
-				xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
-				wCh := wd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
-				for ky := 0; ky < c.k; ky++ {
-					for kx := 0; kx < c.k; kx++ {
-						wv := wCh[ky*c.k+kx]
-						if wv == 0 {
-							continue
-						}
-						for oy := 0; oy < c.outH; oy++ {
-							iy := oy*c.stride - c.pad + ky
-							if iy < 0 || iy >= c.inH {
-								continue
-							}
-							xRow := xCh[iy*c.inW : (iy+1)*c.inW]
-							oRowY := oRow[oy*c.outW : (oy+1)*c.outW]
-							for ox := 0; ox < c.outW; ox++ {
-								ix := ox*c.stride - c.pad + kx
-								if ix < 0 || ix >= c.inW {
-									continue
-								}
-								oRowY[ox] += wv * xRow[ix]
-							}
-						}
-					}
-				}
-			}
-		}
+		g.im2col(xd[s*inSz:(s+1)*inSz], cols)
+		g.convForward(cols, wd, bd, od[s*outSz:(s+1)*outSz], c.pruned)
 	}
+	putScratch(colsBuf)
 	return out
 }
 
@@ -142,52 +108,19 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	xd, gd, dxd := x.Data(), grad.Data(), dx.Data()
 	wd, dwd, dbd := c.w.W.Data(), c.w.G.Data(), c.b.G.Data()
 
-	inHW := c.inH * c.inW
-	outHW := c.outH * c.outW
+	g := c.geom()
+	inSz, outSz, colSz := g.inSize(), g.outSize(), g.colsSize()
+	colsBuf, dcolsBuf := getScratch(colSz), getScratch(colSz)
+	cols, dcols := *colsBuf, *dcolsBuf
 	for s := 0; s < n; s++ {
-		xBase := s * c.inC * inHW
-		gBase := s * c.outC * outHW
-		for oc := 0; oc < c.outC; oc++ {
-			if c.pruned != nil && c.pruned[oc] {
-				continue
-			}
-			gRow := gd[gBase+oc*outHW : gBase+(oc+1)*outHW]
-			for _, gv := range gRow {
-				dbd[oc] += gv
-			}
-			wBase := oc * c.inC * c.k * c.k
-			for ic := 0; ic < c.inC; ic++ {
-				xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
-				dxCh := dxd[xBase+ic*inHW : xBase+(ic+1)*inHW]
-				wCh := wd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
-				dwCh := dwd[wBase+ic*c.k*c.k : wBase+(ic+1)*c.k*c.k]
-				for ky := 0; ky < c.k; ky++ {
-					for kx := 0; kx < c.k; kx++ {
-						wv := wCh[ky*c.k+kx]
-						dwSum := 0.0
-						for oy := 0; oy < c.outH; oy++ {
-							iy := oy*c.stride - c.pad + ky
-							if iy < 0 || iy >= c.inH {
-								continue
-							}
-							xRow := xCh[iy*c.inW : (iy+1)*c.inW]
-							dxRow := dxCh[iy*c.inW : (iy+1)*c.inW]
-							gRowY := gRow[oy*c.outW : (oy+1)*c.outW]
-							for ox := 0; ox < c.outW; ox++ {
-								ix := ox*c.stride - c.pad + kx
-								if ix < 0 || ix >= c.inW {
-									continue
-								}
-								gv := gRowY[ox]
-								dwSum += gv * xRow[ix]
-								dxRow[ix] += gv * wv
-							}
-						}
-						dwCh[ky*c.k+kx] += dwSum
-					}
-				}
-			}
+		g.im2col(xd[s*inSz:(s+1)*inSz], cols)
+		for i := range dcols {
+			dcols[i] = 0
 		}
+		g.convBackward(cols, wd, gd[s*outSz:(s+1)*outSz], dwd, dbd, dcols, c.pruned)
+		g.col2im(dcols, dxd[s*inSz:(s+1)*inSz])
 	}
+	putScratch(colsBuf)
+	putScratch(dcolsBuf)
 	return dx
 }

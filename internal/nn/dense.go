@@ -56,28 +56,13 @@ func (d *Dense) SetPruned(pruned []bool) {
 	d.pruned = copyMask(pruned)
 }
 
-// Forward computes the affine map for a batch x of shape [N, in].
+// Forward computes the affine map for a batch x of shape [N, in] via the
+// shared dense kernel (see kernels.go).
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	n := x.Dim(0)
 	d.lastIn = x
 	out := tensor.New(n, d.out)
-	xd, od := x.Data(), out.Data()
-	wd, bd := d.w.W.Data(), d.b.W.Data()
-	for s := 0; s < n; s++ {
-		xRow := xd[s*d.in : (s+1)*d.in]
-		oRow := od[s*d.out : (s+1)*d.out]
-		for o := 0; o < d.out; o++ {
-			if d.pruned != nil && d.pruned[o] {
-				continue
-			}
-			wRow := wd[o*d.in : (o+1)*d.in]
-			sum := bd[o]
-			for i, xv := range xRow {
-				sum += wRow[i] * xv
-			}
-			oRow[o] = sum
-		}
-	}
+	denseForward(x.Data(), d.w.W.Data(), d.b.W.Data(), out.Data(), n, d.in, d.out, d.pruned)
 	return out
 }
 
@@ -89,28 +74,6 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	x := d.lastIn
 	n := x.Dim(0)
 	dx := tensor.New(n, d.in)
-	xd, gd, dxd := x.Data(), grad.Data(), dx.Data()
-	wd, dwd, dbd := d.w.W.Data(), d.w.G.Data(), d.b.G.Data()
-	for s := 0; s < n; s++ {
-		xRow := xd[s*d.in : (s+1)*d.in]
-		gRow := gd[s*d.out : (s+1)*d.out]
-		dxRow := dxd[s*d.in : (s+1)*d.in]
-		for o := 0; o < d.out; o++ {
-			if d.pruned != nil && d.pruned[o] {
-				continue
-			}
-			gv := gRow[o]
-			if gv == 0 {
-				continue
-			}
-			dbd[o] += gv
-			wRow := wd[o*d.in : (o+1)*d.in]
-			dwRow := dwd[o*d.in : (o+1)*d.in]
-			for i, xv := range xRow {
-				dwRow[i] += gv * xv
-				dxRow[i] += gv * wRow[i]
-			}
-		}
-	}
+	denseBackward(x.Data(), grad.Data(), d.w.W.Data(), dx.Data(), d.w.G.Data(), d.b.G.Data(), n, d.in, d.out, d.pruned)
 	return dx
 }

@@ -12,16 +12,19 @@ import (
 // why a network must not be shared across goroutines there (and why the
 // cloud server serializes personalization requests with a mutex).
 //
-// Serving wants the opposite trade: many goroutines pushing batches
-// through ONE set of weights, each batch under a different user's prune
-// mask. Network.Infer provides that: it performs no writes to any layer
-// field — no cached inputs, no pool argmax buffers, no recording hooks —
-// and takes the prune masks as an explicit argument instead of reading
-// layer state. Concurrent Infer calls are therefore safe, including
-// concurrently with personalization (System.Prune), which only writes
-// layer fields Infer never reads (cached activations and installed
-// masks). The single forbidden overlap is weight mutation: do not train
-// while serving.
+// Serving, profiling and evaluation want the opposite trade: many
+// goroutines pushing batches through ONE set of weights. Network.Infer
+// provides that: it performs no writes to any layer field — no cached
+// inputs, no pool argmax buffers, no recording hooks — and takes the
+// prune masks as an explicit argument instead of reading layer state.
+// Concurrent Infer calls are therefore safe, including concurrently with
+// personalization (System.Prune), which only writes layer fields Infer
+// never reads (cached activations and installed masks). The single
+// forbidden overlap is weight mutation: do not train while serving.
+//
+// The arithmetic itself lives in kernels.go — the same im2col conv and
+// dense kernels Forward/Backward use — so the serving path and the
+// training path execute one implementation and stay bit-identical.
 
 // statelessInfer is implemented by layers whose inference pass has no
 // side effects and no prunable units.
@@ -48,28 +51,80 @@ type maskedInfer interface {
 // The masked semantics match Forward under SetPruning exactly: a pruned
 // unit's output (and hence everything downstream of its ReLU) is zero.
 func (n *Network) Infer(x *tensor.Tensor, masks map[int][]bool) *tensor.Tensor {
-	unit := 0
+	return n.InferObserved(x, masks, nil)
+}
+
+// InferObserved is Infer with a firing observer: after each unit stage's
+// ReLU (the pairing Stages() reports), observe is called with the stage
+// index and the post-ReLU batch output. The observer must not retain or
+// mutate the tensor. A nil observe makes this identical to Infer.
+//
+// This is the stateless primitive behind parallel firing-rate profiling:
+// unlike the ReLU.Hook field it writes no layer state, so any number of
+// goroutines can profile disjoint shards of a dataset through one
+// network concurrently.
+func (n *Network) InferObserved(x *tensor.Tensor, masks map[int][]bool, observe func(stage int, post *tensor.Tensor)) *tensor.Tensor {
+	unit := -1
+	pending := false
 	for _, l := range n.Layers {
 		if ml, ok := l.(maskedInfer); ok {
-			x = ml.inferMasked(x, masks[unit])
 			unit++
+			x = ml.inferMasked(x, masks[unit])
+			pending = true
 			continue
 		}
-		if sl, ok := l.(statelessInfer); ok {
-			x = sl.infer(x)
-			continue
+		sl, ok := l.(statelessInfer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s does not support stateless inference", l.Name()))
 		}
-		panic(fmt.Sprintf("nn: layer %s does not support stateless inference", l.Name()))
+		x = sl.infer(x)
+		if pending {
+			if _, isReLU := l.(*ReLU); isReLU && observe != nil {
+				observe(unit, x)
+			}
+			pending = false
+		}
 	}
 	return x
 }
 
+// InferLayers runs x through the given layer slice statelessly, reading
+// each unit layer's *installed* prune mask (UnitLayer.Pruned). It is the
+// suffix-replay primitive for parallel evaluation: the per-layer results
+// match Forward under the same masks bit for bit, but no activation
+// caches are written, so disjoint shards can run concurrently. Callers
+// must not mutate masks or weights while shards are in flight.
+func InferLayers(layers []Layer, x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range layers {
+		if ml, ok := l.(maskedInfer); ok {
+			x = ml.inferMasked(x, l.(UnitLayer).Pruned())
+			continue
+		}
+		sl, ok := l.(statelessInfer)
+		if !ok {
+			panic(fmt.Sprintf("nn: layer %s does not support stateless inference", l.Name()))
+		}
+		x = sl.infer(x)
+	}
+	return x
+}
+
+// Masks returns a copy of the currently installed prune masks keyed by
+// unit-layer index — the map form Infer takes. Stages with no mask are
+// absent. The result is detached from the network: later SetPruning
+// calls do not affect it.
+func (n *Network) Masks() map[int][]bool {
+	masks := map[int][]bool{}
+	for _, st := range n.Stages() {
+		if m := st.Unit.Pruned(); m != nil {
+			masks[st.Index] = copyMask(m)
+		}
+	}
+	return masks
+}
+
 // inferMasked computes the convolution with an explicit channel mask via
-// im2col: the input patches are gathered once into a column matrix, then
-// each live output channel is an axpy sweep over contiguous rows. This
-// keeps the hot loop branch-free (the bounds checks of the training
-// kernel move into the gather, amortized over all output channels) and
-// touches no layer state.
+// the shared im2col kernel, touching no layer state.
 func (c *Conv2D) inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor {
 	if pruned != nil && len(pruned) != c.outC {
 		panic(fmt.Sprintf("nn: conv %q mask length %d, want %d", c.name, len(pruned), c.outC))
@@ -79,105 +134,15 @@ func (c *Conv2D) inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor {
 	xd, od := x.Data(), out.Data()
 	wd, bd := c.w.W.Data(), c.b.W.Data()
 
-	inHW := c.inH * c.inW
-	outHW := c.outH * c.outW
-	kk := c.k * c.k
-	cols := make([]float64, c.inC*kk*outHW) // [inC·k·k, outH·outW], reused per sample
+	g := c.geom()
+	inSz, outSz := g.inSize(), g.outSize()
+	colsBuf := getScratch(g.colsSize())
+	cols := *colsBuf
 	for s := 0; s < n; s++ {
-		xBase := s * c.inC * inHW
-		for ic := 0; ic < c.inC; ic++ {
-			xCh := xd[xBase+ic*inHW : xBase+(ic+1)*inHW]
-			for ky := 0; ky < c.k; ky++ {
-				for kx := 0; kx < c.k; kx++ {
-					row := cols[(ic*kk+ky*c.k+kx)*outHW : (ic*kk+ky*c.k+kx+1)*outHW]
-					ri := 0
-					for oy := 0; oy < c.outH; oy++ {
-						iy := oy*c.stride - c.pad + ky
-						if iy < 0 || iy >= c.inH {
-							for ox := 0; ox < c.outW; ox++ {
-								row[ri] = 0
-								ri++
-							}
-							continue
-						}
-						xRow := xCh[iy*c.inW : (iy+1)*c.inW]
-						if c.stride == 1 {
-							// ix = ox + kx − pad is contiguous: bulk-copy the
-							// in-bounds span, zero the edges.
-							lo, hi := c.pad-kx, c.inW+c.pad-kx
-							if lo < 0 {
-								lo = 0
-							}
-							if hi > c.outW {
-								hi = c.outW
-							}
-							for ox := 0; ox < lo; ox++ {
-								row[ri+ox] = 0
-							}
-							copy(row[ri+lo:ri+hi], xRow[lo+kx-c.pad:hi+kx-c.pad])
-							for ox := hi; ox < c.outW; ox++ {
-								row[ri+ox] = 0
-							}
-							ri += c.outW
-							continue
-						}
-						for ox := 0; ox < c.outW; ox++ {
-							ix := ox*c.stride - c.pad + kx
-							if ix < 0 || ix >= c.inW {
-								row[ri] = 0
-							} else {
-								row[ri] = xRow[ix]
-							}
-							ri++
-						}
-					}
-				}
-			}
-		}
-		// out[oc,·] = bias[oc] + Σ_r w[oc,r]·cols[r,·], accumulated in the
-		// same (ic,ky,kx) order as the training kernel so results match it
-		// bit for bit. Pruned channels are skipped: output stays zero.
-		oBase := s * c.outC * outHW
-		for oc := 0; oc < c.outC; oc++ {
-			if pruned != nil && pruned[oc] {
-				continue
-			}
-			oRow := od[oBase+oc*outHW : oBase+(oc+1)*outHW]
-			bias := bd[oc]
-			for i := range oRow {
-				oRow[i] = bias
-			}
-			wRow := wd[oc*c.inC*kk : (oc+1)*c.inC*kk]
-			// Four column rows per sweep quarters the oRow write traffic.
-			// The explicit left-to-right sum keeps the accumulation order of
-			// the one-row-at-a-time loop, so results still match the
-			// training kernel bit for bit.
-			r := 0
-			for ; r+4 <= len(wRow); r += 4 {
-				w0, w1, w2, w3 := wRow[r], wRow[r+1], wRow[r+2], wRow[r+3]
-				if w0 == 0 && w1 == 0 && w2 == 0 && w3 == 0 {
-					continue
-				}
-				c0 := cols[r*outHW : (r+1)*outHW]
-				c1 := cols[(r+1)*outHW : (r+2)*outHW]
-				c2 := cols[(r+2)*outHW : (r+3)*outHW]
-				c3 := cols[(r+3)*outHW : (r+4)*outHW]
-				for i := range oRow {
-					oRow[i] = oRow[i] + w0*c0[i] + w1*c1[i] + w2*c2[i] + w3*c3[i]
-				}
-			}
-			for ; r < len(wRow); r++ {
-				wv := wRow[r]
-				if wv == 0 {
-					continue
-				}
-				col := cols[r*outHW : (r+1)*outHW]
-				for i, cv := range col {
-					oRow[i] += wv * cv
-				}
-			}
-		}
+		g.im2col(xd[s*inSz:(s+1)*inSz], cols)
+		g.convForward(cols, wd, bd, od[s*outSz:(s+1)*outSz], pruned)
 	}
+	putScratch(colsBuf)
 	return out
 }
 
@@ -189,23 +154,7 @@ func (d *Dense) inferMasked(x *tensor.Tensor, pruned []bool) *tensor.Tensor {
 	}
 	n := x.Dim(0)
 	out := tensor.New(n, d.out)
-	xd, od := x.Data(), out.Data()
-	wd, bd := d.w.W.Data(), d.b.W.Data()
-	for s := 0; s < n; s++ {
-		xRow := xd[s*d.in : (s+1)*d.in]
-		oRow := od[s*d.out : (s+1)*d.out]
-		for o := 0; o < d.out; o++ {
-			if pruned != nil && pruned[o] {
-				continue
-			}
-			wRow := wd[o*d.in : (o+1)*d.in]
-			sum := bd[o]
-			for i, xv := range xRow {
-				sum += wRow[i] * xv
-			}
-			oRow[o] = sum
-		}
-	}
+	denseForward(x.Data(), d.w.W.Data(), d.b.W.Data(), out.Data(), n, d.in, d.out, pruned)
 	return out
 }
 

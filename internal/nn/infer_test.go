@@ -45,8 +45,10 @@ func checkerMasks(net *Network) map[int][]bool {
 	return masks
 }
 
-// Infer must reproduce Forward exactly, masked and unmasked: same
-// accumulation order, same pruned-output-stays-zero semantics.
+// Infer must reproduce Forward bit for bit, masked and unmasked: both
+// paths route through the one kernel layer (kernels.go), so the same
+// accumulation order — and the same pruned-output-stays-zero semantics —
+// is not approximate but exact.
 func TestInferMatchesForward(t *testing.T) {
 	net := inferTestNet(t)
 	x := randBatch(5, net.InShape, 11)
@@ -62,9 +64,28 @@ func TestInferMatchesForward(t *testing.T) {
 			t.Fatalf("%s: shape %v vs %v", name, want.Shape(), got.Shape())
 		}
 		for i, w := range want.Data() {
-			if math.Abs(w-got.Data()[i]) > 1e-12 {
-				t.Fatalf("%s: logit %d diverges: Forward %v, Infer %v", name, i, w, got.Data()[i])
+			if w != got.Data()[i] {
+				t.Fatalf("%s: logit %d diverges: Forward %v, Infer %v (want bit-identical)", name, i, w, got.Data()[i])
 			}
+		}
+	}
+}
+
+// InferLayers (the suffix-replay primitive) must match running the same
+// layer slice via Forward under installed masks, bit for bit.
+func TestInferLayersMatchesForward(t *testing.T) {
+	net := inferTestNet(t)
+	x := randBatch(4, net.InShape, 13)
+	net.SetPruning(checkerMasks(net))
+	defer net.ClearPruning()
+	want := x
+	for _, l := range net.Layers {
+		want = l.Forward(want)
+	}
+	got := InferLayers(net.Layers, x)
+	for i, w := range want.Data() {
+		if w != got.Data()[i] {
+			t.Fatalf("logit %d diverges: Forward %v, InferLayers %v", i, w, got.Data()[i])
 		}
 	}
 }

@@ -1,0 +1,291 @@
+package nn
+
+import "sync"
+
+// This file is the one conv/dense compute kernel in the repository.
+// Training (Conv2D.Forward/Backward, Dense.Forward/Backward), stateless
+// serving (Network.Infer), profiling and evaluation all route through
+// these functions, so there is a single place where the arithmetic —
+// and, critically, its accumulation order — is defined.
+//
+// The conv kernel is im2col + axpy: each sample's receptive fields are
+// gathered once into a column matrix (bounds checks amortized over all
+// output channels), then every live output channel is a sweep over
+// contiguous rows, four at a time to cut output-row write traffic. The
+// explicit left-to-right sums keep the accumulation order of the naive
+// (ic, ky, kx) loop, so the kernel's results are bit-for-bit those of a
+// direct convolution — the property the Infer ≡ Forward tests pin down.
+//
+// Scratch matrices come from a sync.Pool, so the training loop and
+// concurrent serving goroutines stop allocating a fresh im2col buffer
+// per call.
+
+// scratchPool recycles float64 scratch slices across kernel calls.
+var scratchPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// getScratch returns a length-n scratch slice (contents undefined).
+func getScratch(n int) *[]float64 {
+	bp := scratchPool.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+// putScratch returns a scratch slice to the pool.
+func putScratch(bp *[]float64) { scratchPool.Put(bp) }
+
+// convGeom captures the static geometry of a Conv2D so the kernel can
+// run without touching layer state.
+type convGeom struct {
+	inC, inH, inW    int
+	outC, outH, outW int
+	k, stride, pad   int
+}
+
+func (c *Conv2D) geom() convGeom {
+	return convGeom{
+		inC: c.inC, inH: c.inH, inW: c.inW,
+		outC: c.outC, outH: c.outH, outW: c.outW,
+		k: c.k, stride: c.stride, pad: c.pad,
+	}
+}
+
+// inSize and outSize are one sample's input/output element counts;
+// colsSize is the im2col matrix size [inC·k·k, outH·outW].
+func (g convGeom) inSize() int   { return g.inC * g.inH * g.inW }
+func (g convGeom) outSize() int  { return g.outC * g.outH * g.outW }
+func (g convGeom) colsSize() int { return g.inC * g.k * g.k * g.outH * g.outW }
+
+// im2col gathers one sample's receptive fields (xs is that sample's
+// [inC, inH, inW] slab) into cols [inC·k·k, outH·outW], writing zeros
+// for out-of-bounds (padding) taps. Every cols entry is written.
+func (g convGeom) im2col(xs, cols []float64) {
+	inHW := g.inH * g.inW
+	outHW := g.outH * g.outW
+	kk := g.k * g.k
+	for ic := 0; ic < g.inC; ic++ {
+		xCh := xs[ic*inHW : (ic+1)*inHW]
+		for ky := 0; ky < g.k; ky++ {
+			for kx := 0; kx < g.k; kx++ {
+				row := cols[(ic*kk+ky*g.k+kx)*outHW : (ic*kk+ky*g.k+kx+1)*outHW]
+				ri := 0
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.stride - g.pad + ky
+					if iy < 0 || iy >= g.inH {
+						for ox := 0; ox < g.outW; ox++ {
+							row[ri] = 0
+							ri++
+						}
+						continue
+					}
+					xRow := xCh[iy*g.inW : (iy+1)*g.inW]
+					if g.stride == 1 {
+						// ix = ox + kx − pad is contiguous: bulk-copy the
+						// in-bounds span, zero the edges.
+						lo, hi := g.pad-kx, g.inW+g.pad-kx
+						if lo < 0 {
+							lo = 0
+						}
+						if hi > g.outW {
+							hi = g.outW
+						}
+						for ox := 0; ox < lo; ox++ {
+							row[ri+ox] = 0
+						}
+						copy(row[ri+lo:ri+hi], xRow[lo+kx-g.pad:hi+kx-g.pad])
+						for ox := hi; ox < g.outW; ox++ {
+							row[ri+ox] = 0
+						}
+						ri += g.outW
+						continue
+					}
+					for ox := 0; ox < g.outW; ox++ {
+						ix := ox*g.stride - g.pad + kx
+						if ix < 0 || ix >= g.inW {
+							row[ri] = 0
+						} else {
+							row[ri] = xRow[ix]
+						}
+						ri++
+					}
+				}
+			}
+		}
+	}
+}
+
+// convForward computes one sample's output slab os [outC, outH, outW]
+// from the gathered columns: os[oc] = bias[oc] + Σ_r w[oc,r]·cols[r],
+// accumulated in ascending r = (ic, ky, kx) order so the result matches
+// a direct convolution bit for bit. Pruned channels are skipped; their
+// output stays zero (os must arrive zeroed).
+func (g convGeom) convForward(cols, wd, bd, os []float64, pruned []bool) {
+	outHW := g.outH * g.outW
+	kk := g.k * g.k
+	for oc := 0; oc < g.outC; oc++ {
+		if pruned != nil && pruned[oc] {
+			continue
+		}
+		oRow := os[oc*outHW : (oc+1)*outHW]
+		bias := bd[oc]
+		for i := range oRow {
+			oRow[i] = bias
+		}
+		wRow := wd[oc*g.inC*kk : (oc+1)*g.inC*kk]
+		// Four column rows per sweep quarters the oRow write traffic.
+		// The explicit left-to-right sum keeps the accumulation order of
+		// the one-row-at-a-time loop, so results stay bit-identical.
+		r := 0
+		for ; r+4 <= len(wRow); r += 4 {
+			w0, w1, w2, w3 := wRow[r], wRow[r+1], wRow[r+2], wRow[r+3]
+			if w0 == 0 && w1 == 0 && w2 == 0 && w3 == 0 {
+				continue
+			}
+			c0 := cols[r*outHW : (r+1)*outHW]
+			c1 := cols[(r+1)*outHW : (r+2)*outHW]
+			c2 := cols[(r+2)*outHW : (r+3)*outHW]
+			c3 := cols[(r+3)*outHW : (r+4)*outHW]
+			for i := range oRow {
+				oRow[i] = oRow[i] + w0*c0[i] + w1*c1[i] + w2*c2[i] + w3*c3[i]
+			}
+		}
+		for ; r < len(wRow); r++ {
+			wv := wRow[r]
+			if wv == 0 {
+				continue
+			}
+			col := cols[r*outHW : (r+1)*outHW]
+			for i, cv := range col {
+				oRow[i] += wv * cv
+			}
+		}
+	}
+}
+
+// convBackward accumulates one sample's parameter gradients and the
+// column-space input gradient. cols is the sample's im2col matrix, gs
+// its output gradient slab [outC, outH, outW]. dwd/dbd are the layer's
+// full gradient buffers (accumulated +=); dcols [inC·k·k, outH·outW]
+// receives the input gradient in column space (dcols must arrive
+// zeroed) for col2im to scatter. Pruned channels neither receive nor
+// propagate gradient.
+//
+// dW keeps the naive kernel's accumulation order: each (oc, r) entry is
+// a fresh left-to-right dot product over the output positions, added
+// once into dwd. dX accumulates over channels first (into dcols) and is
+// then scattered — a reassociation of the naive order that stays
+// deterministic because the loop order is fixed.
+func (g convGeom) convBackward(cols, wd, gs, dwd, dbd, dcols []float64, pruned []bool) {
+	outHW := g.outH * g.outW
+	kk := g.k * g.k
+	rows := g.inC * kk
+	for oc := 0; oc < g.outC; oc++ {
+		if pruned != nil && pruned[oc] {
+			continue
+		}
+		gRow := gs[oc*outHW : (oc+1)*outHW]
+		for _, gv := range gRow {
+			dbd[oc] += gv
+		}
+		wRow := wd[oc*rows : (oc+1)*rows]
+		dwRow := dwd[oc*rows : (oc+1)*rows]
+		for r := 0; r < rows; r++ {
+			col := cols[r*outHW : (r+1)*outHW]
+			sum := 0.0
+			for i, gv := range gRow {
+				sum += gv * col[i]
+			}
+			dwRow[r] += sum
+			wv := wRow[r]
+			if wv == 0 {
+				continue
+			}
+			dcol := dcols[r*outHW : (r+1)*outHW]
+			for i, gv := range gRow {
+				dcol[i] += wv * gv
+			}
+		}
+	}
+}
+
+// col2im scatters the column-space gradient back onto one sample's
+// input-gradient slab dxs [inC, inH, inW] (accumulated +=), the adjoint
+// of im2col. Out-of-bounds (padding) taps are dropped.
+func (g convGeom) col2im(dcols, dxs []float64) {
+	inHW := g.inH * g.inW
+	outHW := g.outH * g.outW
+	kk := g.k * g.k
+	for ic := 0; ic < g.inC; ic++ {
+		dxCh := dxs[ic*inHW : (ic+1)*inHW]
+		for ky := 0; ky < g.k; ky++ {
+			for kx := 0; kx < g.k; kx++ {
+				row := dcols[(ic*kk+ky*g.k+kx)*outHW : (ic*kk+ky*g.k+kx+1)*outHW]
+				ri := 0
+				for oy := 0; oy < g.outH; oy++ {
+					iy := oy*g.stride - g.pad + ky
+					if iy < 0 || iy >= g.inH {
+						ri += g.outW
+						continue
+					}
+					dxRow := dxCh[iy*g.inW : (iy+1)*g.inW]
+					for ox := 0; ox < g.outW; ox++ {
+						ix := ox*g.stride - g.pad + kx
+						if ix >= 0 && ix < g.inW {
+							dxRow[ix] += row[ri]
+						}
+						ri++
+					}
+				}
+			}
+		}
+	}
+}
+
+// denseForward computes od[s,o] = b[o] + Σ_i w[o,i]·xd[s,i] for every
+// live neuron; pruned neurons' outputs stay zero (od must arrive
+// zeroed). Shared by the training Forward and the stateless Infer path.
+func denseForward(xd, wd, bd, od []float64, n, in, out int, pruned []bool) {
+	for s := 0; s < n; s++ {
+		xRow := xd[s*in : (s+1)*in]
+		oRow := od[s*out : (s+1)*out]
+		for o := 0; o < out; o++ {
+			if pruned != nil && pruned[o] {
+				continue
+			}
+			wRow := wd[o*in : (o+1)*in]
+			sum := bd[o]
+			for i, xv := range xRow {
+				sum += wRow[i] * xv
+			}
+			oRow[o] = sum
+		}
+	}
+}
+
+// denseBackward accumulates dW/dB (+=) and writes dX for a batch.
+// Pruned neurons neither receive nor propagate gradient.
+func denseBackward(xd, gd, wd, dxd, dwd, dbd []float64, n, in, out int, pruned []bool) {
+	for s := 0; s < n; s++ {
+		xRow := xd[s*in : (s+1)*in]
+		gRow := gd[s*out : (s+1)*out]
+		dxRow := dxd[s*in : (s+1)*in]
+		for o := 0; o < out; o++ {
+			if pruned != nil && pruned[o] {
+				continue
+			}
+			gv := gRow[o]
+			if gv == 0 {
+				continue
+			}
+			dbd[o] += gv
+			wRow := wd[o*in : (o+1)*in]
+			dwRow := dwd[o*in : (o+1)*in]
+			for i, xv := range xRow {
+				dwRow[i] += gv * xv
+				dxRow[i] += gv * wRow[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkMatMul covers the dense-layer shapes of the reference
+// VGG-mini (nn/vgg.go): an evaluation batch of 32 flattened samples
+// through FC1 (32→128), FC2 (128→128) and the 20-class output layer,
+// plus a larger square case where cache blocking matters most.
+func BenchmarkMatMul(b *testing.B) {
+	cases := []struct{ m, k, n int }{
+		{32, 32, 128},   // batch × flatten → FC1
+		{32, 128, 128},  // batch × FC1 → FC2
+		{32, 128, 20},   // batch × FC2 → logits
+		{128, 128, 128}, // square: blocking regime
+	}
+	for _, c := range cases {
+		b.Run(fmt.Sprintf("%dx%dx%d", c.m, c.k, c.n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			a := New(c.m, c.k)
+			a.FillUniform(rng, -1, 1)
+			bb := New(c.k, c.n)
+			bb.FillUniform(rng, -1, 1)
+			b.SetBytes(int64(8 * c.m * c.k * c.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := MatMul(a, bb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestMatMulBlockedMatchesNaive pins the bit-identity contract of the
+// blocked kernel: every C element accumulates in ascending-k order, so
+// the result must equal the naive triple loop exactly, including across
+// the matMulKC block boundary.
+func TestMatMulBlockedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range []struct{ m, k, n int }{
+		{1, 1, 1}, {3, 5, 2}, {8, 16, 8},
+		{4, matMulKC - 1, 3}, {4, matMulKC, 3}, {4, matMulKC + 5, 3},
+		{2, 2*matMulKC + 3, 4},
+	} {
+		a := New(c.m, c.k)
+		a.FillUniform(rng, -1, 1)
+		// Sprinkle zeros to exercise the skip paths.
+		for i := 0; i < c.m*c.k; i += 7 {
+			a.Data()[i] = 0
+		}
+		b := New(c.k, c.n)
+		b.FillUniform(rng, -1, 1)
+		got, err := MatMul(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := New(c.m, c.n)
+		for i := 0; i < c.m; i++ {
+			for p := 0; p < c.k; p++ {
+				av := a.Data()[i*c.k+p]
+				if av == 0 {
+					continue
+				}
+				for j := 0; j < c.n; j++ {
+					want.Data()[i*c.n+j] += av * b.Data()[p*c.n+j]
+				}
+			}
+		}
+		for i, v := range got.Data() {
+			if v != want.Data()[i] {
+				t.Fatalf("%dx%dx%d: element %d: blocked %v != naive %v", c.m, c.k, c.n, i, v, want.Data()[i])
+			}
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"capnn/internal/data"
 	"capnn/internal/nn"
+	"capnn/internal/parallel"
 	"capnn/internal/tensor"
 )
 
@@ -23,10 +24,20 @@ type Eval struct {
 const evalBatch = 32
 
 // Evaluate runs the network over every image of ds and returns accuracy
-// metrics. Per-class accuracy for class i is the fraction of class-i
-// images whose top-1 prediction (over all output classes) is i — the
-// quantity Algorithms 1 and 2 bound by ε.
+// metrics, using parallel.Default() workers. Per-class accuracy for
+// class i is the fraction of class-i images whose top-1 prediction (over
+// all output classes) is i — the quantity Algorithms 1 and 2 bound by ε.
 func Evaluate(net *nn.Network, ds *data.Dataset) Eval {
+	return EvaluateWorkers(net, ds, 0)
+}
+
+// EvaluateWorkers is Evaluate with an explicit worker count (<= 0 means
+// parallel.Default()). The dataset is split into fixed evalBatch shards
+// run through the stateless Network.Infer under the installed prune
+// masks; per-shard integer hit counters merge in shard order, so the
+// metrics are bit-identical for every worker count. The network's
+// weights and masks must not change while an evaluation is in flight.
+func EvaluateWorkers(net *nn.Network, ds *data.Dataset, workers int) Eval {
 	e := Eval{
 		PerClass:     make([]float64, ds.Classes),
 		PerClassTop5: make([]float64, ds.Classes),
@@ -34,18 +45,32 @@ func Evaluate(net *nn.Network, ds *data.Dataset) Eval {
 	}
 	hit1 := make([]int, ds.Classes)
 	hit5 := make([]int, ds.Classes)
-	for start := 0; start < ds.Len(); start += evalBatch {
-		end := start + evalBatch
-		if end > ds.Len() {
-			end = ds.Len()
-		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
+	masks := net.Masks()
+	shards := parallel.Shards(ds.Len(), evalBatch)
+	type part struct{ hit1, hit5, count []int }
+	parts := make([]part, len(shards))
+	parallel.For(workers, len(shards), func(i int) {
+		sh := shards[i]
+		idx := make([]int, sh.Len())
+		for j := range idx {
+			idx[j] = sh.Lo + j
 		}
 		x, labels := ds.Batch(idx)
-		logits := net.Forward(x)
-		scoreBatch(logits, labels, hit1, hit5, e.Count)
+		logits := net.Infer(x, masks)
+		p := part{
+			hit1:  make([]int, ds.Classes),
+			hit5:  make([]int, ds.Classes),
+			count: make([]int, ds.Classes),
+		}
+		scoreBatch(logits, labels, p.hit1, p.hit5, p.count)
+		parts[i] = p
+	})
+	for _, p := range parts {
+		for c := 0; c < ds.Classes; c++ {
+			hit1[c] += p.hit1[c]
+			hit5[c] += p.hit5[c]
+			e.Count[c] += p.count[c]
+		}
 	}
 	t1, t5, total := 0, 0, 0
 	for c := 0; c < ds.Classes; c++ {
@@ -88,25 +113,27 @@ func scoreBatch(logits *tensor.Tensor, labels []int, hit1, hit5, count []int) {
 	}
 }
 
-// Predict returns the top-1 class for each image of ds, in dataset order.
+// Predict returns the top-1 class for each image of ds, in dataset
+// order. Shards run in parallel through the stateless inference path and
+// write disjoint regions of the result, so the output does not depend on
+// the worker count.
 func Predict(net *nn.Network, ds *data.Dataset) []int {
-	preds := make([]int, 0, ds.Len())
-	for start := 0; start < ds.Len(); start += evalBatch {
-		end := start + evalBatch
-		if end > ds.Len() {
-			end = ds.Len()
-		}
-		idx := make([]int, end-start)
-		for i := range idx {
-			idx[i] = start + i
+	preds := make([]int, ds.Len())
+	masks := net.Masks()
+	shards := parallel.Shards(ds.Len(), evalBatch)
+	parallel.For(0, len(shards), func(i int) {
+		sh := shards[i]
+		idx := make([]int, sh.Len())
+		for j := range idx {
+			idx[j] = sh.Lo + j
 		}
 		x, _ := ds.Batch(idx)
-		logits := net.Forward(x)
+		logits := net.Infer(x, masks)
 		n, c := logits.Dim(0), logits.Dim(1)
 		for s := 0; s < n; s++ {
-			preds = append(preds, tensor.Argmax(logits.Data()[s*c:(s+1)*c]))
+			preds[sh.Lo+s] = tensor.Argmax(logits.Data()[s*c : (s+1)*c])
 		}
-	}
+	})
 	return preds
 }
 

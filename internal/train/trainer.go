@@ -78,6 +78,8 @@ func Train(net *nn.Network, trainSet, valSet *data.Dataset, cfg Config) ([]Epoch
 	var history []EpochStat
 	net.SetTraining(true)
 	defer net.SetTraining(false)
+	trainer := NewTrainer(net, opt, 0, cfg.Seed)
+	defer trainer.Close()
 	for epoch := 1; epoch <= cfg.Epochs; epoch++ {
 		if cfg.LRDecayEvery > 0 && epoch > 1 && (epoch-1)%cfg.LRDecayEvery == 0 {
 			*lr /= 2
@@ -89,15 +91,10 @@ func Train(net *nn.Network, trainSet, valSet *data.Dataset, cfg Config) ([]Epoch
 			if end > len(order) {
 				end = len(order)
 			}
-			x, labels := trainSet.Batch(order[start:end])
-			net.ZeroGrad()
-			logits := net.Forward(x)
-			loss, grad, err := SoftmaxCrossEntropy(logits, labels)
+			loss, err := trainer.Step(trainSet, order[start:end])
 			if err != nil {
 				return nil, err
 			}
-			net.Backward(grad)
-			opt.Step(net.Params())
 			epochLoss += loss
 			batches++
 		}
