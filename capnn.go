@@ -42,6 +42,7 @@ import (
 	"capnn/internal/nn"
 	"capnn/internal/parallel"
 	"capnn/internal/serve"
+	"capnn/internal/store"
 	"capnn/internal/train"
 )
 
@@ -186,6 +187,17 @@ func Weighted(classes []int, weights []float64) (Preferences, error) {
 
 // NewMonitor creates a prediction monitor over numClasses.
 func NewMonitor(numClasses int) (*Monitor, error) { return core.NewMonitor(numClasses) }
+
+// SlidingMonitor is a Monitor over only the most recent window
+// observations — the view the serving tier's runtime ε-guard uses, so
+// old usage cannot mask fresh drift.
+type SlidingMonitor = core.SlidingMonitor
+
+// NewSlidingMonitor creates a sliding monitor over numClasses classes
+// keeping the most recent window observations.
+func NewSlidingMonitor(numClasses, window int) (*SlidingMonitor, error) {
+	return core.NewSlidingMonitor(numClasses, window)
+}
 
 // NewSystem profiles net (when rates is nil) and prepares it for pruning.
 func NewSystem(net *Network, valSet, profileSet *Dataset, rates *Rates, params Params) (*System, error) {
@@ -343,6 +355,51 @@ func NewServeClient(addr string) *ServeClient { return serve.NewClient(addr) }
 
 // DefaultServeConfig returns the production serving defaults.
 func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// BreakerState is the repersonalization circuit breaker's state
+// (closed / open / half-open), reported in ServeStats.
+type BreakerState = serve.BreakerState
+
+// The circuit breaker states.
+const (
+	BreakerClosed   = serve.BreakerClosed
+	BreakerOpen     = serve.BreakerOpen
+	BreakerHalfOpen = serve.BreakerHalfOpen
+)
+
+// --- crash-safe state store ---------------------------------------------------
+
+// StateStore is the atomic, versioned, CRC-checksummed checkpoint store
+// the binaries use to survive kill -9: each commit is an all-or-nothing
+// generation, corruption is detected on read and rolled back to the
+// newest good generation, and old generations are pruned by retention.
+type StateStore = store.Store
+
+// StateTxn stages one generation's artifacts before an atomic commit.
+type StateTxn = store.Txn
+
+// StateGeneration is a committed, verified checkpoint generation.
+type StateGeneration = store.Generation
+
+// TrainMeta records training progress inside a checkpoint so
+// capnn-train resumes instead of starting over.
+type TrainMeta = store.TrainMeta
+
+// Canonical artifact names used by the CAP'NN binaries.
+const (
+	ArtifactModel     = store.ArtifactModel
+	ArtifactRates     = store.ArtifactRates
+	ArtifactMaskCache = store.ArtifactMaskCache
+	ArtifactTrainMeta = store.ArtifactTrainMeta
+)
+
+// OpenStateStore opens (or creates) a checkpoint store with the default
+// retention of DefaultKeep generations.
+func OpenStateStore(dir string) (*StateStore, error) { return store.Open(dir) }
+
+// OpenStateStoreKeep opens a checkpoint store retaining the newest keep
+// generations.
+func OpenStateStoreKeep(dir string, keep int) (*StateStore, error) { return store.OpenKeep(dir, keep) }
 
 // --- fault injection ----------------------------------------------------------
 

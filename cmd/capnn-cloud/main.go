@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"capnn/internal/cloud"
@@ -35,6 +36,7 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 30*time.Second, "per-connection request read deadline")
 	writeTimeout := flag.Duration("write-timeout", 30*time.Second, "per-connection response write deadline")
 	maxInflight := flag.Int("max-inflight", 64, "admitted concurrent requests before shedding with busy")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight personalizations at shutdown")
 	flag.Parse()
 
 	var cfg exp.FixtureConfig
@@ -82,8 +84,10 @@ func main() {
 	fmt.Printf("capnn-cloud: serving %s on %s (Ctrl-C to stop)\n", cfg.Name, bound)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	_ = srv.Close()
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "capnn-cloud: drain: %v\n", err)
+	}
 	fmt.Println("capnn-cloud: stopped")
 }

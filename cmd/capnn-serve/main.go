@@ -5,14 +5,28 @@
 //
 //	capnn-serve -addr 127.0.0.1:7879 -model cifar10 -variant M
 //
+// The serving tier self-heals: a runtime ε-guard shadow-samples each
+// cached personalization and, when the user's observed class mix drifts
+// past the ε degradation bound, falls back to the unpruned network and
+// repersonalizes through a circuit breaker (tune with -guard-* flags,
+// disable with -no-guard).
+//
+// With -state the server checkpoints its mask cache (plus model and
+// firing rates) into an atomic, CRC-checksummed store and warm-starts
+// from the latest good generation after a crash:
+//
+//	capnn-serve -state /var/lib/capnn/serve -checkpoint-every 30s
+//
 // Like capnn-cloud it can injure its own transport for resilience
 // testing:
 //
 //	capnn-serve -addr 127.0.0.1:7879 -chaos "seed=7,drop=0.1,latency=20ms"
 //
-// On SIGINT the server drains in-flight micro-batches, prints a final
-// stats snapshot (cache hit rate, batch histogram, per-stage latency),
-// and exits.
+// On SIGINT/SIGTERM the server drains: it stops accepting, sheds new
+// requests with busy, flushes in-flight micro-batches within
+// -drain-timeout, takes a final checkpoint, prints a stats snapshot
+// (including guard trips, breaker transitions, checkpoint age), and
+// exits.
 package main
 
 import (
@@ -21,12 +35,14 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"capnn/internal/core"
 	"capnn/internal/exp"
 	"capnn/internal/faults"
 	"capnn/internal/serve"
+	"capnn/internal/store"
 )
 
 func main() {
@@ -40,6 +56,13 @@ func main() {
 	maxQueue := flag.Int("max-queue", 1024, "admitted requests in flight before shedding with busy")
 	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms")
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
+	stateDir := flag.String("state", "", "checkpoint store directory: warm-start the mask cache from the latest good generation and checkpoint periodically (empty = stateless)")
+	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "with -state, commit a checkpoint this often")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight work at shutdown")
+	noGuard := flag.Bool("no-guard", false, "disable the runtime ε-guard (serve stale personalizations forever)")
+	guardEvery := flag.Int("guard-sample-every", 8, "shadow-sample every Nth request per entry through the unpruned network")
+	guardWindow := flag.Int("guard-window", 256, "sliding window of shadow observations per entry")
+	guardSlack := flag.Float64("guard-slack", 0.05, "off-preference share absorbed before the guard trips (also absorbs base model error)")
 	flag.Parse()
 
 	var cfg exp.FixtureConfig
@@ -84,13 +107,57 @@ func main() {
 		}
 	}
 	srv := serve.NewServerWith(fx.Sys, serve.Config{
-		Variant:  v,
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
-		Workers:  *workers,
-		CacheCap: *cacheCap,
-		MaxQueue: *maxQueue,
+		Variant:          v,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		Workers:          *workers,
+		CacheCap:         *cacheCap,
+		MaxQueue:         *maxQueue,
+		DisableGuard:     *noGuard,
+		GuardSampleEvery: *guardEvery,
+		GuardWindow:      *guardWindow,
+		GuardSlack:       *guardSlack,
 	})
+
+	var st *store.Store
+	if *stateDir != "" {
+		st, err = store.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if g, err := st.Latest(); err == nil {
+			n, err := srv.RestoreState(g)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "capnn-serve: restore generation %d: %v\n", g.Number, err)
+				os.Exit(1)
+			}
+			fmt.Printf("capnn-serve: recovered generation %d: %d cached personalizations warm\n", g.Number, n)
+		} else {
+			fmt.Printf("capnn-serve: no usable checkpoint in %s, starting cold\n", *stateDir)
+		}
+	}
+	checkpoint := func() {
+		if st == nil {
+			return
+		}
+		txn, err := st.Begin()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			return
+		}
+		defer txn.Abort()
+		if err := srv.SaveState(txn); err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			return
+		}
+		if err := txn.Commit(); err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			return
+		}
+		srv.NoteCheckpoint(txn.Generation())
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -119,12 +186,29 @@ func main() {
 			}
 		}()
 	}
+	if st != nil {
+		go func() {
+			tick := time.NewTicker(*ckptEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					checkpoint()
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
-	_ = srv.Close()
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "capnn-serve: drain: %v\n", err)
+	}
+	checkpoint()
 	fmt.Printf("capnn-serve: final %s\n", srv.Stats())
 	fmt.Println("capnn-serve: stopped")
 }

@@ -179,7 +179,7 @@ func (c *Client) fetchOnce(req Request) (*nn.Network, Stats, *Error) {
 		}
 		return nil, Stats{}, &Error{Op: "server", Code: code, Err: errors.New(resp.Err)}
 	}
-	if resp.ModelSum != 0 && modelSum(resp.Model) != resp.ModelSum {
+	if resp.ModelSum != 0 && ModelSum(resp.Model) != resp.ModelSum {
 		return nil, Stats{}, &Error{Op: "payload", Err: fmt.Errorf("model checksum mismatch (%d bytes corrupted in transit)", len(resp.Model))}
 	}
 	model, err := nn.Load(bytes.NewReader(resp.Model))

@@ -104,5 +104,7 @@ func errResponse(code Code, msg string) *Response {
 	return &Response{Version: ProtocolVersion, Code: code, Err: msg}
 }
 
-// modelSum is the checksum covering Response.Model.
-func modelSum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+// ModelSum is the checksum covering Response.Model — exported so
+// out-of-package harnesses (corpus generators, integration tests) can
+// build and verify valid responses.
+func ModelSum(b []byte) uint32 { return crc32.ChecksumIEEE(b) }

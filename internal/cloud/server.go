@@ -79,6 +79,9 @@ type Server struct {
 	lnMu sync.Mutex
 	ln   net.Listener
 	wg   sync.WaitGroup
+
+	drainMu  sync.Mutex
+	draining bool
 }
 
 // NewServer wraps a prepared system with the default Config.
@@ -146,6 +149,44 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown drains the server gracefully: the listener stops accepting,
+// requests still arriving on open connections are shed with CodeBusy,
+// and in-flight personalizations get up to timeout to finish. It
+// returns an error when the deadline expires with handlers still
+// running (they are not killed — the caller decides whether to wait
+// longer or exit).
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.lnMu.Lock()
+	ln := s.ln
+	s.ln = nil
+	s.lnMu.Unlock()
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	s.drainMu.Lock()
+	s.draining = true
+	s.drainMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return lnErr
+	case <-time.After(timeout):
+		return fmt.Errorf("cloud: drain deadline %v exceeded with requests in flight", timeout)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
 func (s *Server) handle(conn net.Conn) {
 	// A dead or stalled peer cannot hold this goroutine past the
 	// configured deadlines.
@@ -154,6 +195,10 @@ func (s *Server) handle(conn net.Conn) {
 	var req Request
 	if err := dec.Decode(&req); err != nil {
 		s.respond(conn, errResponse(CodeBadRequest, fmt.Sprintf("decode: %v", err)))
+		return
+	}
+	if s.isDraining() {
+		s.respond(conn, errResponse(CodeBusy, "server draining, retry against another replica"))
 		return
 	}
 	select {
@@ -241,7 +286,7 @@ func (s *Server) Personalize(req Request) (resp *Response) {
 		Version:  ProtocolVersion,
 		Code:     CodeOK,
 		Model:    buf.Bytes(),
-		ModelSum: modelSum(buf.Bytes()),
+		ModelSum: ModelSum(buf.Bytes()),
 		Stats:    st,
 	}
 }

@@ -1,0 +1,110 @@
+package cloud
+
+import (
+	"encoding/gob"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Shutdown must drain: the admitted request finishes and is answered,
+// a request arriving on an already-open connection during the drain is
+// shed with CodeBusy (not dropped), and the listener stops accepting.
+func TestShutdownDrainsInflightAndShedsNew(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServer(f.sys)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park an in-flight personalization on the system mutex.
+	srv.mu.Lock()
+	firstErr := make(chan error, 1)
+	go func() {
+		cl := NewClient(addr)
+		cl.Retry.MaxAttempts = 1
+		_, _, err := cl.Fetch(Request{Variant: "B", Classes: []int{0}})
+		firstErr <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return srv.Inflight() == 1 }, "first request to be admitted")
+
+	// Open a connection now but send its request only after the drain
+	// begins — the window where requests must be shed, not dropped.
+	late, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Close()
+	time.Sleep(50 * time.Millisecond) // let the accept loop pick it up
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(10 * time.Second) }()
+	waitFor(t, 5*time.Second, srv.isDraining, "drain to begin")
+
+	if err := gob.NewEncoder(late).Encode(&Request{Variant: "B", Classes: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := gob.NewDecoder(late).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeBusy {
+		t.Fatalf("late request got code %v (%s), want busy shed", resp.Code, resp.Err)
+	}
+
+	// Shutdown must still be waiting on the parked personalization.
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned (%v) with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	srv.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-firstErr; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Fatal("listener still accepting after Shutdown")
+	}
+}
+
+// When in-flight work outlives the deadline, Shutdown reports it
+// instead of blocking forever; the work itself is not killed and still
+// completes once unblocked.
+func TestShutdownDeadlineExpires(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServer(f.sys)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv.mu.Lock()
+	firstErr := make(chan error, 1)
+	go func() {
+		cl := NewClient(addr)
+		cl.Retry.MaxAttempts = 1
+		_, _, err := cl.Fetch(Request{Variant: "B", Classes: []int{0}})
+		firstErr <- err
+	}()
+	waitFor(t, 5*time.Second, func() bool { return srv.Inflight() == 1 }, "first request to be admitted")
+
+	err = srv.Shutdown(50 * time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "drain deadline") {
+		t.Fatalf("Shutdown err=%v, want drain deadline error", err)
+	}
+
+	srv.mu.Unlock()
+	if err := srv.Close(); err != nil { // waits out the straggler
+		t.Fatalf("Close after failed drain: %v", err)
+	}
+	if err := <-firstErr; err != nil {
+		t.Fatalf("straggler request failed: %v", err)
+	}
+}

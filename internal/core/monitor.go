@@ -55,25 +55,31 @@ func (m *Monitor) Counts() []int { return append([]int(nil), m.counts...) }
 // observations. Classes observed zero times are never included, so the
 // result may have fewer than k classes.
 func (m *Monitor) Preferences(k int) (Preferences, error) {
-	if m.total == 0 {
+	return preferencesFromCounts(m.counts, m.total, k)
+}
+
+// preferencesFromCounts is the shared §II preference derivation: the
+// top-k observed classes weighted by their empirical usage.
+func preferencesFromCounts(counts []int, total, k int) (Preferences, error) {
+	if total == 0 {
 		return Preferences{}, fmt.Errorf("core: monitor has no observations")
 	}
 	if k < 1 {
 		return Preferences{}, fmt.Errorf("core: k=%d", k)
 	}
-	vals := make([]float64, len(m.counts))
-	for i, c := range m.counts {
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
 		vals[i] = float64(c)
 	}
 	top := tensor.ArgTopK(vals, k)
 	var classes []int
 	var weights []float64
 	for _, c := range top {
-		if m.counts[c] == 0 {
+		if counts[c] == 0 {
 			break // ArgTopK is descending; the rest are zero too
 		}
 		classes = append(classes, c)
-		weights = append(weights, float64(m.counts[c]))
+		weights = append(weights, float64(counts[c]))
 	}
 	p, err := Weighted(classes, weights)
 	if err != nil {
@@ -81,4 +87,87 @@ func (m *Monitor) Preferences(k int) (Preferences, error) {
 	}
 	p.Normalize()
 	return p, nil
+}
+
+// SlidingMonitor is a Monitor over only the most recent window
+// observations. Where the paper's monitoring period runs once before
+// personalization, a serving tier needs a view that *forgets*: the
+// runtime ε-guard asks "what has this user's class mix looked like
+// lately", and a lifetime counter would let months of old usage mask a
+// fresh drift. Implemented as a ring buffer so Observe is O(1).
+type SlidingMonitor struct {
+	ring   []int // last len(ring) predictions, -1 = empty slot
+	counts []int
+	next   int // ring index the next observation overwrites
+	total  int // observations currently in the window (≤ len(ring))
+}
+
+// NewSlidingMonitor creates a sliding monitor over numClasses output
+// classes keeping the most recent window observations.
+func NewSlidingMonitor(numClasses, window int) (*SlidingMonitor, error) {
+	if numClasses < 2 {
+		return nil, fmt.Errorf("core: monitor needs ≥2 classes, got %d", numClasses)
+	}
+	if window < 1 {
+		return nil, fmt.Errorf("core: window %d < 1", window)
+	}
+	m := &SlidingMonitor{ring: make([]int, window), counts: make([]int, numClasses)}
+	for i := range m.ring {
+		m.ring[i] = -1
+	}
+	return m, nil
+}
+
+// Observe records one top-1 prediction, evicting the oldest observation
+// once the window is full.
+func (m *SlidingMonitor) Observe(pred int) error {
+	if pred < 0 || pred >= len(m.counts) {
+		return fmt.Errorf("core: prediction %d outside [0,%d)", pred, len(m.counts))
+	}
+	if old := m.ring[m.next]; old >= 0 {
+		m.counts[old]--
+	} else {
+		m.total++
+	}
+	m.ring[m.next] = pred
+	m.counts[pred]++
+	m.next = (m.next + 1) % len(m.ring)
+	return nil
+}
+
+// Total returns the number of observations currently in the window.
+func (m *SlidingMonitor) Total() int { return m.total }
+
+// Window returns the monitor's window size.
+func (m *SlidingMonitor) Window() int { return len(m.ring) }
+
+// Full reports whether the window holds Window observations.
+func (m *SlidingMonitor) Full() bool { return m.total == len(m.ring) }
+
+// Counts returns a copy of the per-class counts over the window.
+func (m *SlidingMonitor) Counts() []int { return append([]int(nil), m.counts...) }
+
+// Share returns class c's fraction of the window (0 when empty).
+func (m *SlidingMonitor) Share(c int) float64 {
+	if m.total == 0 || c < 0 || c >= len(m.counts) {
+		return 0
+	}
+	return float64(m.counts[c]) / float64(m.total)
+}
+
+// Reset empties the window.
+func (m *SlidingMonitor) Reset() {
+	for i := range m.ring {
+		m.ring[i] = -1
+	}
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+	m.next, m.total = 0, 0
+}
+
+// Preferences derives top-k preferences from the window, with the same
+// semantics as Monitor.Preferences.
+func (m *SlidingMonitor) Preferences(k int) (Preferences, error) {
+	return preferencesFromCounts(m.counts, m.total, k)
 }

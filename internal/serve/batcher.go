@@ -10,11 +10,18 @@ import (
 	"capnn/internal/tensor"
 )
 
+// unprunedKey is the shared group key for traffic served through the
+// unpruned network (ε-guard fallback and shadow samples). It cannot
+// collide with a mask key: those are always "variant/hash".
+const unprunedKey = "!unpruned"
+
 // request is one admitted inference riding the batcher: its input
-// sample (flattened [C,H,W]), the mask entry it forwards under, and the
-// channel its outcome lands on (buffered; the flusher never blocks).
+// sample (flattened [C,H,W]), the group key and masks it forwards
+// under (nil masks = unpruned), and the channel its outcome lands on
+// (buffered; the flusher never blocks).
 type request struct {
-	entry    *maskEntry
+	gkey     string
+	masks    map[int][]bool
 	x        []float64
 	enqueued time.Time
 	done     chan outcome
@@ -30,7 +37,8 @@ type outcome struct {
 // MaxWait flush; dispatching marks it flushed so the racing path
 // (timer vs MaxBatch) becomes a no-op.
 type group struct {
-	entry   *maskEntry
+	gkey    string
+	masks   map[int][]bool
 	reqs    []*request
 	timer   *time.Timer
 	flushed bool
@@ -114,10 +122,10 @@ func (b *batcher) submit(r *request) error {
 		return &Error{Code: cloud.CodeBusy, Err: fmt.Errorf("queue full (%d in flight), retry with backoff", b.maxQueue)}
 	}
 	b.queued++
-	key := r.entry.key
+	key := r.gkey
 	g, ok := b.pending[key]
 	if !ok {
-		g = &group{entry: r.entry}
+		g = &group{gkey: key, masks: r.masks}
 		b.pending[key] = g
 		if b.maxWait > 0 {
 			g.timer = time.AfterFunc(b.maxWait, func() { b.flushKey(key, g) })
@@ -196,7 +204,7 @@ func (b *batcher) runGroup(g *group) {
 	}
 
 	fwdStart := time.Now()
-	out := b.net.Infer(batch, g.entry.masks)
+	out := b.net.Infer(batch, g.masks)
 	b.st.flushed(n, waits, time.Since(fwdStart))
 
 	classes := out.Dim(1)

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState names a circuit breaker state for stats and logs.
+type BreakerState string
+
+const (
+	// BreakerClosed: repersonalization attempts flow normally.
+	BreakerClosed BreakerState = "closed"
+	// BreakerOpen: attempts are rejected until the cooldown elapses.
+	BreakerOpen BreakerState = "open"
+	// BreakerHalfOpen: one probe attempt is in flight; its outcome
+	// decides between closing and re-opening.
+	BreakerHalfOpen BreakerState = "half-open"
+)
+
+// breaker is a classic closed/open/half-open circuit breaker guarding
+// the repersonalization path, the same way the cloud client's
+// retry/backoff guards the wire: when System.Prune keeps failing (bad
+// state, pathological preferences, a bug), tripped ε-guards must not
+// convert into an unbounded stream of expensive failing prune runs.
+//
+// Closed: attempts run; outcomes land in a rolling window, and when the
+// window holds ≥ minSamples with a failure rate ≥ failureRate the
+// breaker opens. Open: attempts are rejected until cooldown has
+// elapsed, then the next allow() becomes the half-open probe. Half-open:
+// exactly one probe runs; success closes the breaker (window cleared),
+// failure re-opens it for another cooldown.
+type breaker struct {
+	failureRate float64
+	window      int
+	minSamples  int
+	cooldown    time.Duration
+	now         func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    BreakerState
+	recent   []bool // rolling outcome window, true = failure
+	next     int
+	filled   int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+
+	opens, closes, halfOpens uint64 // transition counters
+}
+
+func newBreaker(failureRate float64, window, minSamples int, cooldown time.Duration) *breaker {
+	return &breaker{
+		failureRate: failureRate,
+		window:      window,
+		minSamples:  minSamples,
+		cooldown:    cooldown,
+		now:         time.Now,
+		state:       BreakerClosed,
+		recent:      make([]bool, window),
+	}
+}
+
+// allow reports whether an attempt may run now. In the open state, the
+// first allow after the cooldown claims the half-open probe slot; every
+// attempt that was allowed must later call record.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.halfOpens++
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false // one probe at a time
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// record reports an allowed attempt's outcome.
+func (b *breaker) record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.state = BreakerClosed
+			b.closes++
+			b.clearWindowLocked()
+		} else {
+			b.state = BreakerOpen
+			b.opens++
+			b.openedAt = b.now()
+		}
+	case BreakerClosed:
+		b.recent[b.next] = !ok
+		b.next = (b.next + 1) % b.window
+		if b.filled < b.window {
+			b.filled++
+		}
+		if b.filled >= b.minSamples {
+			failures := 0
+			for i := 0; i < b.filled; i++ {
+				if b.recent[i] {
+					failures++
+				}
+			}
+			if float64(failures)/float64(b.filled) >= b.failureRate {
+				b.state = BreakerOpen
+				b.opens++
+				b.openedAt = b.now()
+			}
+		}
+	default:
+		// Open: a straggler attempt allowed before the trip finished;
+		// its outcome no longer matters.
+	}
+}
+
+func (b *breaker) clearWindowLocked() {
+	for i := range b.recent {
+		b.recent[i] = false
+	}
+	b.next, b.filled = 0, 0
+}
+
+// snapshot returns the current state and transition counters.
+func (b *breaker) snapshot() (BreakerState, uint64, uint64, uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An expired open is reported half-open-eligible only once a probe
+	// actually claims it; reporting the raw state keeps snapshot pure.
+	return b.state, b.opens, b.closes, b.halfOpens
+}

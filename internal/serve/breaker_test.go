@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's cooldown deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newTestBreaker(rate float64, window, minSamples int, cooldown time.Duration) (*breaker, *fakeClock) {
+	b := newBreaker(rate, window, minSamples, cooldown)
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b.now = clk.now
+	return b, clk
+}
+
+func TestBreakerOpensOnFailureRate(t *testing.T) {
+	b, _ := newTestBreaker(0.5, 4, 4, time.Second)
+	// Three failures in four samples → 75% ≥ 50% → open.
+	outcomes := []bool{false, true, false, false}
+	for _, ok := range outcomes {
+		if !b.allow() {
+			t.Fatal("closed breaker rejected an attempt")
+		}
+		b.record(ok)
+	}
+	if state, opens, _, _ := b.snapshot(); state != BreakerOpen || opens != 1 {
+		t.Fatalf("state=%s opens=%d, want open/1", state, opens)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+}
+
+func TestBreakerStaysClosedUnderMinSamples(t *testing.T) {
+	b, _ := newTestBreaker(0.5, 8, 4, time.Second)
+	for i := 0; i < 3; i++ { // 3 failures, but minSamples is 4
+		b.allow()
+		b.record(false)
+	}
+	if state, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("state=%s, want closed with only 3 samples", state)
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	b, clk := newTestBreaker(1.0, 2, 2, time.Second)
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.record(false)
+	}
+	if state, _, _, _ := b.snapshot(); state != BreakerOpen {
+		t.Fatalf("state=%s, want open", state)
+	}
+
+	clk.advance(999 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("admitted 1ms before cooldown elapsed")
+	}
+	clk.advance(2 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but probe rejected")
+	}
+	// Exactly one probe: a second attempt while the probe is in flight
+	// is rejected.
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted")
+	}
+	b.record(true)
+	state, opens, closes, halfOpens := b.snapshot()
+	if state != BreakerClosed || opens != 1 || closes != 1 || halfOpens != 1 {
+		t.Fatalf("state=%s opens=%d closes=%d halfOpens=%d, want closed/1/1/1", state, opens, closes, halfOpens)
+	}
+	// The window was cleared on close: old failures must not re-trip.
+	b.allow()
+	b.record(false)
+	if state, _, _, _ := b.snapshot(); state != BreakerClosed {
+		t.Fatalf("state=%s after one failure post-close, want closed (window cleared)", state)
+	}
+}
+
+func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
+	b, clk := newTestBreaker(1.0, 2, 2, time.Second)
+	for i := 0; i < 2; i++ {
+		b.allow()
+		b.record(false)
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe rejected after cooldown")
+	}
+	b.record(false)
+	if state, opens, _, _ := b.snapshot(); state != BreakerOpen || opens != 2 {
+		t.Fatalf("state=%s opens=%d, want re-opened/2", state, opens)
+	}
+	// The fresh open starts a fresh cooldown.
+	clk.advance(500 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("admitted halfway through the second cooldown")
+	}
+	clk.advance(501 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("second cooldown elapsed but probe rejected")
+	}
+	b.record(true)
+	if state, _, closes, _ := b.snapshot(); state != BreakerClosed || closes != 1 {
+		t.Fatalf("state=%s closes=%d, want closed/1", state, closes)
+	}
+}

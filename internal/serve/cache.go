@@ -3,16 +3,25 @@ package serve
 import (
 	"container/list"
 	"sync"
+
+	"capnn/internal/core"
 )
 
 // maskEntry is one cached personalization: the per-stage prune masks for
 // a canonical (variant, preference-key) pair, plus the pruning counts
-// for observability. Entries are immutable once published — groups
-// forward under them concurrently without copying.
+// for observability. Masks and identity are immutable once published —
+// groups forward under them concurrently without copying; the attached
+// guard carries its own lock.
 type maskEntry struct {
 	key                     string
+	variant                 core.Variant
+	prefs                   core.Preferences
 	masks                   map[int][]bool
 	prunedUnits, totalUnits int
+
+	// guard is the entry's runtime ε-guard; nil when guarding is
+	// disabled or the entry was restored without one.
+	guard *entryGuard
 }
 
 // flight is one in-progress personalization. Joiners block on done and
@@ -96,4 +105,36 @@ func (c *maskCache) get(key string, fill func() (*maskEntry, error)) (*maskEntry
 	c.mu.Unlock()
 	close(f.done)
 	return f.entry, false, f.err
+}
+
+// install inserts (or replaces) an entry directly, bypassing the fill
+// path — used by checkpoint restore and by heals publishing a
+// repersonalized entry under the original request key.
+func (c *maskCache) install(e *maskEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.key]; ok {
+		el.Value = e
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[e.key] = c.lru.PushFront(e)
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*maskEntry).key)
+		c.st.evicted()
+	}
+}
+
+// snapshot returns the resident entries, least recently used first, so
+// re-installing them in order reproduces the LRU recency.
+func (c *maskCache) snapshot() []*maskEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*maskEntry, 0, c.lru.Len())
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		out = append(out, el.Value.(*maskEntry))
+	}
+	return out
 }

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"fmt"
+
+	"capnn/internal/core"
+	"capnn/internal/store"
+)
+
+// cachedMask is the durable form of one maskEntry: enough to rebuild
+// the entry (and a fresh guard) on restore. Guard windows are runtime
+// state and deliberately not persisted — after a restart the traffic
+// mix must be re-observed before any trip decision.
+type cachedMask struct {
+	Key         string
+	Variant     string
+	Classes     []int
+	Weights     []float64
+	Masks       map[int][]bool
+	PrunedUnits int
+	TotalUnits  int
+}
+
+// SaveState stages the server's durable state into an open store
+// transaction: the base model weights, the firing-rate profile, and a
+// snapshot of the mask cache. The caller owns the transaction (it may
+// add its own artifacts) and commits it. Safe to call while serving:
+// personalizeMu keeps a concurrent System.Prune from mutating the
+// network's mask bits mid-serialization.
+func (s *Server) SaveState(txn *store.Txn) error {
+	s.personalizeMu.Lock()
+	err := txn.PutNetwork(store.ArtifactModel, s.sys.Net)
+	s.personalizeMu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := txn.PutRates(s.sys.Rates); err != nil {
+		return err
+	}
+	entries := s.cache.snapshot()
+	cms := make([]cachedMask, 0, len(entries))
+	for _, e := range entries {
+		cms = append(cms, cachedMask{
+			Key:         e.key,
+			Variant:     string(e.variant),
+			Classes:     e.prefs.Classes,
+			Weights:     e.prefs.Weights,
+			Masks:       e.masks,
+			PrunedUnits: e.prunedUnits,
+			TotalUnits:  e.totalUnits,
+		})
+	}
+	return txn.PutGob(store.ArtifactMaskCache, cms)
+}
+
+// RestoreState re-installs a checkpointed mask cache from a verified
+// generation, so a restarted server answers its first requests from
+// warm masks instead of re-running every personalization. Entries get
+// fresh guards (empty windows). Call before serving traffic. The model
+// and rates artifacts are loaded by the caller when constructing the
+// core.System — restoring them into a live system would race serving.
+func (s *Server) RestoreState(g *store.Generation) (int, error) {
+	if !g.Has(store.ArtifactMaskCache) {
+		s.st.noteCheckpoint(g.Number)
+		return 0, nil
+	}
+	var cms []cachedMask
+	if err := g.Gob(store.ArtifactMaskCache, &cms); err != nil {
+		return 0, err
+	}
+	restored := 0
+	for _, cm := range cms {
+		prefs, err := core.Weighted(cm.Classes, cm.Weights)
+		if err != nil {
+			return restored, fmt.Errorf("serve: restore %q: %w", cm.Key, err)
+		}
+		prefs.Normalize()
+		e := &maskEntry{
+			key:         cm.Key,
+			variant:     core.Variant(cm.Variant),
+			prefs:       prefs,
+			masks:       cm.Masks,
+			prunedUnits: cm.PrunedUnits,
+			totalUnits:  cm.TotalUnits,
+		}
+		if !s.cfg.DisableGuard {
+			guard, err := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
+				s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
+			if err != nil {
+				return restored, fmt.Errorf("serve: restore %q: %w", cm.Key, err)
+			}
+			e.guard = guard
+		}
+		s.cache.install(e)
+		restored++
+	}
+	s.st.noteCheckpoint(g.Number)
+	return restored, nil
+}
+
+// NoteCheckpoint records a checkpoint this server's state was just
+// committed as, for the Stats generation/age gauges.
+func (s *Server) NoteCheckpoint(generation int) { s.st.noteCheckpoint(generation) }

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"sync"
+
+	"capnn/internal/core"
+)
+
+// entryGuard is the runtime ε-guard attached to one cached mask entry.
+// CAP'NN's contract — no preference class degrades by more than ε — is
+// verified at prune time against the preferences the user *claimed*.
+// The guard re-checks it at serve time against the class mix the user
+// actually *sends* (the SECS observation: class-skew systems must react
+// when the observed distribution drifts from the profiled one).
+//
+// Mechanism: every sampleEvery-th request for the entry is served
+// through the unpruned network (a shadow sample) and its top-1
+// prediction lands in a sliding per-class window (core.SlidingMonitor
+// semantics). Sampling must bypass the masks: a model pruned for K
+// tends to collapse predictions *into* K, so the pruned model's own
+// outputs would hide exactly the drift the guard exists to catch.
+//
+// From the window the guard estimates the worst-case accuracy
+// degradation of the current masks under the observed mix:
+//
+//	estDeg = ε·inShare + 1·offShare
+//
+// — in-preference traffic is degraded at most ε by construction, while
+// off-preference traffic may be fully degraded (its units were pruned
+// away). The guard trips when estDeg exceeds ε + slack, which reduces
+// to offShare > slack/(1−ε): off-preference share beyond what the
+// slack absorbs. A tripped entry serves its users through the unpruned
+// network (fallback) while a repersonalization against the observed
+// preferences is scheduled through the server's circuit breaker.
+type entryGuard struct {
+	epsilon float64
+	slack   float64
+	minObs  int
+	every   int // shadow-sample every Nth request; ≤0 disables
+
+	mu       sync.Mutex
+	win      *core.SlidingMonitor
+	inClass  []bool // class → in the entry's preference set
+	seq      int    // requests since last shadow sample
+	tripped  bool
+	healing  bool // a heal has been scheduled for this entry
+	estDeg   float64
+	fallback uint64 // requests this entry served unpruned after tripping
+}
+
+func newEntryGuard(prefs core.Preferences, classes int, epsilon, slack float64, window, minObs, every int) (*entryGuard, error) {
+	win, err := core.NewSlidingMonitor(classes, window)
+	if err != nil {
+		return nil, err
+	}
+	in := make([]bool, classes)
+	for _, c := range prefs.Classes {
+		in[c] = true
+	}
+	return &entryGuard{
+		epsilon: epsilon,
+		slack:   slack,
+		minObs:  minObs,
+		every:   every,
+		win:     win,
+		inClass: in,
+	}, nil
+}
+
+// admit is called once per request for the entry, before dispatch. It
+// reports whether this request must be served through the unpruned
+// network (fallback after a trip, or a shadow sample) and whether its
+// top-1 prediction should be fed back via observe.
+func (g *entryGuard) admit() (unpruned, sample bool) {
+	if g == nil {
+		return false, false
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tripped {
+		g.fallback++
+		// Fallback traffic is all unpruned; keep observing it so the
+		// heal personalizes against the freshest window.
+		return true, true
+	}
+	if g.every <= 0 {
+		return false, false
+	}
+	g.seq++
+	if g.seq >= g.every {
+		g.seq = 0
+		return true, true
+	}
+	return false, false
+}
+
+// observe feeds one shadow-sampled top-1 prediction into the window and
+// reports whether this observation tripped the guard (true exactly
+// once; the caller schedules the heal).
+func (g *entryGuard) observe(pred int) (tripped bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.win.Observe(pred) != nil {
+		return false // out-of-range prediction; nothing to learn
+	}
+	if g.tripped || g.win.Total() < g.minObs {
+		return false
+	}
+	g.estDeg = g.estimateLocked()
+	if g.estDeg > g.epsilon+g.slack {
+		g.tripped = true
+		return true
+	}
+	return false
+}
+
+// estimateLocked computes estDeg = ε·inShare + offShare over the window.
+func (g *entryGuard) estimateLocked() float64 {
+	in := 0.0
+	for c, isIn := range g.inClass {
+		if isIn {
+			in += g.win.Share(c)
+		}
+	}
+	return g.epsilon*in + (1 - in)
+}
+
+// observedPrefs derives fresh preferences from the window for the heal,
+// keeping at most k classes (the entry's original breadth, so healing
+// does not balloon the preference set and destroy the pruning win).
+func (g *entryGuard) observedPrefs(k int) (core.Preferences, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.win.Preferences(k)
+}
+
+// state snapshots the guard for stats.
+func (g *entryGuard) state() (tripped bool, estDeg float64, fallback uint64) {
+	if g == nil {
+		return false, 0, 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.tripped, g.estDeg, g.fallback
+}
+
+// claimHeal marks the entry as having a scheduled heal; the first
+// caller gets true and owns spawning it.
+func (g *entryGuard) claimHeal() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.healing {
+		return false
+	}
+	g.healing = true
+	return true
+}

@@ -46,6 +46,9 @@ type WireResponse struct {
 	Class    int
 	Batch    int
 	CacheHit bool
+	// Fallback reports the request was served through the unpruned
+	// network because its mask entry's ε-guard tripped (see Result).
+	Fallback bool
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -91,10 +94,17 @@ func (s *Server) Serve(ln net.Listener) string {
 // that stop reading.
 func (s *Server) handle(conn net.Conn) {
 	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	dec := gob.NewDecoder(io.LimitReader(conn, s.cfg.MaxRequestBytes))
+	lr := &io.LimitedReader{R: conn, N: s.cfg.MaxRequestBytes}
 	var req WireRequest
-	if err := dec.Decode(&req); err != nil {
-		s.respond(conn, &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: fmt.Sprintf("decode: %v", err)})
+	if err := gob.NewDecoder(lr).Decode(&req); err != nil {
+		msg := fmt.Sprintf("decode: %v", err)
+		if lr.N <= 0 {
+			// The decoder ran the limit dry: distinguish an oversized (or
+			// unterminated) frame from a merely malformed one so clients
+			// know not to retry the same payload.
+			msg = fmt.Sprintf("request exceeds size cap (%d bytes)", s.cfg.MaxRequestBytes)
+		}
+		s.respond(conn, &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: msg})
 		return
 	}
 	s.respond(conn, s.Handle(req))
@@ -149,6 +159,7 @@ func (s *Server) Handle(req WireRequest) *WireResponse {
 		Class:    res.Class,
 		Batch:    res.Batch,
 		CacheHit: res.CacheHit,
+		Fallback: res.Fallback,
 	}
 }
 

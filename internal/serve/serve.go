@@ -58,6 +58,38 @@ type Config struct {
 	// 30s / 1MiB.
 	ReadTimeout, WriteTimeout time.Duration
 	MaxRequestBytes           int64
+
+	// DisableGuard turns the runtime ε-guard off entirely (no shadow
+	// sampling, no fallback, no heals).
+	DisableGuard bool
+	// GuardSampleEvery shadow-serves every Nth request per mask entry
+	// through the unpruned network and observes its prediction; the
+	// pruned model's own outputs would hide drift (they collapse into
+	// the preference set). Default 8.
+	GuardSampleEvery int
+	// GuardWindow is the sliding window (observations) the guard judges
+	// drift over. Default 256.
+	GuardWindow int
+	// GuardMinObs defers judgement until the window holds this many
+	// observations, so one unlucky sample cannot trip a fresh entry.
+	// Default 64.
+	GuardMinObs int
+	// GuardSlack is the tolerated estimated degradation beyond ε before
+	// the guard trips (trip when estDeg > ε + slack). Default 0.05.
+	GuardSlack float64
+
+	// BreakerFailureRate opens the repersonalization breaker when the
+	// failure fraction over its rolling window reaches this. Default 0.5.
+	BreakerFailureRate float64
+	// BreakerWindow / BreakerMinSamples size the rolling outcome window
+	// and the minimum samples before the rate is judged. Defaults 8 / 4.
+	BreakerWindow, BreakerMinSamples int
+	// BreakerCooldown is how long an open breaker rejects attempts
+	// before admitting a half-open probe. Default 5s.
+	BreakerCooldown time.Duration
+	// HealBackoff is how long a pending heal waits between attempts when
+	// the breaker rejects it or personalization fails. Default 250ms.
+	HealBackoff time.Duration
 }
 
 // DefaultConfig returns the production defaults.
@@ -73,6 +105,17 @@ func DefaultConfig() Config {
 		ReadTimeout:     30 * time.Second,
 		WriteTimeout:    30 * time.Second,
 		MaxRequestBytes: 1 << 20,
+
+		GuardSampleEvery: 8,
+		GuardWindow:      256,
+		GuardMinObs:      64,
+		GuardSlack:       0.05,
+
+		BreakerFailureRate: 0.5,
+		BreakerWindow:      8,
+		BreakerMinSamples:  4,
+		BreakerCooldown:    5 * time.Second,
+		HealBackoff:        250 * time.Millisecond,
 	}
 }
 
@@ -108,6 +151,33 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = d.MaxRequestBytes
 	}
+	if c.GuardSampleEvery <= 0 {
+		c.GuardSampleEvery = d.GuardSampleEvery
+	}
+	if c.GuardWindow <= 0 {
+		c.GuardWindow = d.GuardWindow
+	}
+	if c.GuardMinObs <= 0 {
+		c.GuardMinObs = d.GuardMinObs
+	}
+	if c.GuardSlack <= 0 {
+		c.GuardSlack = d.GuardSlack
+	}
+	if c.BreakerFailureRate <= 0 {
+		c.BreakerFailureRate = d.BreakerFailureRate
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = d.BreakerWindow
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = d.BreakerMinSamples
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.HealBackoff <= 0 {
+		c.HealBackoff = d.HealBackoff
+	}
 	return c
 }
 
@@ -135,6 +205,10 @@ type Result struct {
 	// CacheHit reports whether its masks came from the cache.
 	Batch    int
 	CacheHit bool
+	// Fallback reports that the request was served through the unpruned
+	// network because its mask entry's ε-guard has tripped (the answer
+	// is the reference model's — never worse than the pruned one).
+	Fallback bool
 }
 
 // Server is the concurrent inference server. It owns a prepared
@@ -154,13 +228,30 @@ type Server struct {
 	// Infer) runs concurrently with this by design.
 	personalizeMu sync.Mutex
 
+	// breaker guards the repersonalization path taken by ε-guard heals.
+	breaker *breaker
+
 	// hookPersonalize, when set by tests, observes every System.Prune
-	// execution (not cache hits or singleflight joins).
+	// execution (not cache hits or singleflight joins). hookHealed
+	// observes each heal publishing a repersonalized entry.
 	hookPersonalize func(prefs core.Preferences)
+	hookHealed      func(key string, prefs core.Preferences)
 
 	lnMu sync.Mutex
 	ln   net.Listener
 	wg   sync.WaitGroup
+
+	// drainMu guards draining; drainCh closes when draining starts so
+	// sleeping heal loops wake and exit.
+	drainMu  sync.Mutex
+	draining bool
+	drainCh  chan struct{}
+
+	// healMu orders healWG.Add against Shutdown's healWG.Wait: once
+	// drainingHeals is set no new heal goroutine may be spawned.
+	healMu        sync.Mutex
+	healWG        sync.WaitGroup
+	drainingHeals bool
 }
 
 // NewServer wraps a prepared system with the default Config.
@@ -171,16 +262,22 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	st := newStats()
 	return &Server{
-		sys:   sys,
-		cfg:   cfg,
-		st:    st,
-		cache: newMaskCache(cfg.CacheCap, st),
-		batch: newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, cfg.Workers, st),
+		sys:     sys,
+		cfg:     cfg,
+		st:      st,
+		cache:   newMaskCache(cfg.CacheCap, st),
+		batch:   newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, cfg.Workers, st),
+		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
+		drainCh: make(chan struct{}),
 	}
 }
 
 // Stats snapshots the serving metrics.
-func (s *Server) Stats() Stats { return s.st.snapshot(s.cache.len(), s.batch.depth()) }
+func (s *Server) Stats() Stats {
+	out := s.st.snapshot(s.cache.len(), s.batch.depth())
+	out.BreakerState, out.BreakerOpens, out.BreakerCloses, out.BreakerHalfOpens = s.breaker.snapshot()
+	return out
+}
 
 // Infer serves one sample x (per-sample shape, no batch dimension) for
 // a user with the given preferences under the server's default variant.
@@ -208,6 +305,9 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 		return Result{}, &Error{Code: cloud.CodeBadRequest,
 			Err: fmt.Errorf("input has %d values, want %d for shape %v", len(x), s.batch.sample, s.batch.inShape)}
 	}
+	if s.isDraining() {
+		return Result{}, &Error{Code: cloud.CodeBusy, Err: fmt.Errorf("server draining")}
+	}
 	deadline := time.NewTimer(s.cfg.RequestTimeout)
 	defer deadline.Stop()
 
@@ -223,7 +323,19 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 		}
 		return Result{}, &Error{Code: cloud.CodeInternal, Err: err}
 	}
-	req := &request{entry: entry, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
+	// The ε-guard may reroute this request through the unpruned
+	// network: always after a trip (fallback), and periodically as a
+	// shadow sample whose prediction feeds the drift window. Unpruned
+	// traffic shares one batch group regardless of which entry sent it.
+	gkey, masks := entry.key, entry.masks
+	unpruned, fallback := entry.guard.admit()
+	if unpruned {
+		gkey, masks = unprunedKey, nil
+		if fallback {
+			s.st.fallbackServed()
+		}
+	}
+	req := &request{gkey: gkey, masks: masks, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
 	if err := s.batch.submit(req); err != nil {
 		return Result{}, err.(*Error)
 	}
@@ -233,11 +345,17 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 		if out.err != nil {
 			return Result{}, out.err
 		}
+		class := tensor.Argmax(out.logits)
+		if unpruned && entry.guard != nil && entry.guard.observe(class) {
+			s.st.guardTripped()
+			s.scheduleHeal(entry)
+		}
 		return Result{
 			Logits:   out.logits,
-			Class:    tensor.Argmax(out.logits),
+			Class:    class,
 			Batch:    out.batch,
 			CacheHit: hit,
+			Fallback: fallback,
 		}, nil
 	case <-deadline.C:
 		// The flush will still complete and drop its outcome into the
@@ -268,7 +386,7 @@ func (s *Server) personalize(v core.Variant, prefs core.Preferences, key string)
 		return nil, &Error{Code: cloud.CodeInternal, Err: perr}
 	}
 	s.st.personalized(time.Since(start))
-	e := &maskEntry{key: key, masks: masks}
+	e := &maskEntry{key: key, variant: v, prefs: prefs, masks: masks}
 	for _, m := range masks {
 		for _, p := range m {
 			e.totalUnits++
@@ -277,21 +395,129 @@ func (s *Server) personalize(v core.Variant, prefs core.Preferences, key string)
 			}
 		}
 	}
+	if !s.cfg.DisableGuard {
+		g, gerr := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
+			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
+		if gerr != nil {
+			return nil, &Error{Code: cloud.CodeInternal, Err: gerr}
+		}
+		e.guard = g
+	}
 	return e, nil
 }
 
-// Close stops the listener (if serving TCP), drains the batcher, and
-// waits for in-flight work.
-func (s *Server) Close() error {
+// scheduleHeal spawns the repersonalization goroutine for a tripped
+// entry — at most one per entry, and none once draining has begun
+// (healMu orders the Add against Shutdown's Wait).
+func (s *Server) scheduleHeal(entry *maskEntry) {
+	if !entry.guard.claimHeal() {
+		return
+	}
+	s.healMu.Lock()
+	if s.drainingHeals {
+		s.healMu.Unlock()
+		return
+	}
+	s.healWG.Add(1)
+	s.healMu.Unlock()
+	go s.heal(entry)
+}
+
+// heal repersonalizes a tripped entry against the class mix its guard
+// actually observed, through the circuit breaker. The healed masks are
+// published under the entry's original request key, so the affected
+// users transparently move from fallback to masks that match their
+// real usage. Failures retry on a backoff until the breaker admits a
+// successful attempt or the server drains.
+func (s *Server) heal(entry *maskEntry) {
+	defer s.healWG.Done()
+	k := len(entry.prefs.Classes)
+	if k < 1 {
+		k = 1
+	}
+	for {
+		if s.breaker.allow() {
+			prefs, err := entry.guard.observedPrefs(k)
+			if err == nil {
+				var fresh *maskEntry
+				fresh, err = s.personalize(entry.variant, prefs, entry.key)
+				if err == nil {
+					s.breaker.record(true)
+					s.cache.install(fresh)
+					s.st.healed()
+					if s.hookHealed != nil {
+						s.hookHealed(entry.key, prefs)
+					}
+					return
+				}
+			}
+			s.breaker.record(false)
+			s.st.healFailed()
+		}
+		select {
+		case <-s.drainCh:
+			return
+		case <-time.After(s.cfg.HealBackoff):
+		}
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	return s.draining
+}
+
+// Shutdown drains the server gracefully: the listener stops accepting,
+// new requests are shed with CodeBusy, pending heals are woken and
+// stopped, and in-flight connections and batches get up to timeout to
+// finish before the batcher is flushed and closed. It returns an error
+// when the deadline expired with work still in flight (that work is
+// still completed by the final flush — requests are answered, not
+// dropped).
+func (s *Server) Shutdown(timeout time.Duration) error {
 	s.lnMu.Lock()
 	ln := s.ln
 	s.ln = nil
 	s.lnMu.Unlock()
-	var err error
+	var lnErr error
 	if ln != nil {
-		err = ln.Close()
+		lnErr = ln.Close()
 	}
-	s.wg.Wait()
+
+	s.drainMu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
+	s.drainMu.Unlock()
+	s.healMu.Lock()
+	s.drainingHeals = true
+	s.healMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()     // connection handlers
+		s.healWG.Wait() // heal goroutines (woken by drainCh)
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		drainErr = fmt.Errorf("serve: drain deadline %v exceeded with work in flight", timeout)
+	}
+	// Flush whatever is still queued and stop the workers: admitted
+	// requests are answered even on a blown deadline.
 	s.batch.close()
-	return err
+	if drainErr != nil {
+		return drainErr
+	}
+	return lnErr
+}
+
+// Close stops the listener (if serving TCP), drains the batcher, and
+// waits for in-flight work — Shutdown with a generous deadline.
+func (s *Server) Close() error {
+	return s.Shutdown(time.Minute)
 }

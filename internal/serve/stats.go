@@ -37,8 +37,25 @@ type Stats struct {
 	// Personalize covers System.Prune runs (cache misses only),
 	// QueueWait covers submit→flush per request, Forward covers the
 	// batched masked forward per group.
-	PersonalizeNs, QueueWaitNs, ForwardNs       int64
+	PersonalizeNs, QueueWaitNs, ForwardNs         int64
 	PersonalizeRuns, QueueWaitObs, ForwardFlushes uint64
+
+	// Self-healing: GuardTrips counts ε-guard trips (one per tripped
+	// entry); FallbackServed counts requests served through the
+	// unpruned network because their entry had tripped; Heals counts
+	// repersonalizations published by the heal path and HealFailures its
+	// failed attempts (breaker-recorded).
+	GuardTrips, FallbackServed, Heals, HealFailures uint64
+
+	// Circuit breaker: instantaneous state plus cumulative transition
+	// counts into each state.
+	BreakerState                                  BreakerState
+	BreakerOpens, BreakerCloses, BreakerHalfOpens uint64
+
+	// Checkpointing: the last committed generation (0 = never) and its
+	// age at snapshot time.
+	CheckpointGeneration int
+	CheckpointAge        time.Duration
 }
 
 // MeanBatch is the average flushed group size.
@@ -74,8 +91,17 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d\n",
 		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries)
 	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
-	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v",
+	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v\n",
 		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward())
+	fmt.Fprintf(&b, "guard: trips=%d fallback-served=%d heals=%d heal-failures=%d\n",
+		s.GuardTrips, s.FallbackServed, s.Heals, s.HealFailures)
+	fmt.Fprintf(&b, "breaker: state=%s opens=%d closes=%d half-opens=%d\n",
+		s.BreakerState, s.BreakerOpens, s.BreakerCloses, s.BreakerHalfOpens)
+	if s.CheckpointGeneration > 0 {
+		fmt.Fprintf(&b, "checkpoint: generation=%d age=%v", s.CheckpointGeneration, s.CheckpointAge.Round(time.Millisecond))
+	} else {
+		fmt.Fprintf(&b, "checkpoint: none")
+	}
 	return b.String()
 }
 
@@ -99,8 +125,9 @@ func (s Stats) histogram() string {
 // mutex keeps the histogram and multi-field updates consistent; every
 // update is far off the forward pass's critical path.
 type stats struct {
-	mu sync.Mutex
-	s  Stats
+	mu           sync.Mutex
+	s            Stats
+	checkpointAt time.Time // commit time of the last checkpoint
 }
 
 func newStats() *stats {
@@ -117,6 +144,9 @@ func (st *stats) snapshot(cacheEntries, queueDepth int) Stats {
 	}
 	out.CacheEntries = cacheEntries
 	out.QueueDepth = queueDepth
+	if !st.checkpointAt.IsZero() {
+		out.CheckpointAge = time.Since(st.checkpointAt)
+	}
 	return out
 }
 
@@ -147,6 +177,19 @@ func (st *stats) flushed(size int, queueWait []time.Duration, forward time.Durat
 		s.ForwardNs += int64(forward)
 		s.ForwardFlushes++
 	})
+}
+
+func (st *stats) guardTripped()   { st.add(func(s *Stats) { s.GuardTrips++ }) }
+func (st *stats) fallbackServed() { st.add(func(s *Stats) { s.FallbackServed++ }) }
+func (st *stats) healed()         { st.add(func(s *Stats) { s.Heals++ }) }
+func (st *stats) healFailed()     { st.add(func(s *Stats) { s.HealFailures++ }) }
+
+// noteCheckpoint records a committed checkpoint generation.
+func (st *stats) noteCheckpoint(gen int) {
+	st.mu.Lock()
+	st.s.CheckpointGeneration = gen
+	st.checkpointAt = time.Now()
+	st.mu.Unlock()
 }
 
 func (st *stats) add(f func(*Stats)) {

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"capnn/internal/firing"
+	"capnn/internal/nn"
+)
+
+// Canonical artifact names used by the CAP'NN binaries. A generation
+// carries whichever subset its writer owns: capnn-train commits model
+// (+trainmeta while mid-run), capnn-cloud commits model+rates
+// (+bmatrices once warmed), capnn-serve commits model+rates+maskcache.
+const (
+	// ArtifactModel is the trained nn.Network (nn.Save wire format).
+	ArtifactModel = "model"
+	// ArtifactRates is the firing-rate profile (gob firing.Rates).
+	ArtifactRates = "rates"
+	// ArtifactMaskCache is the serve tier's mask cache snapshot.
+	ArtifactMaskCache = "maskcache"
+	// ArtifactBMatrices is variant B's precomputed matrices.
+	ArtifactBMatrices = "bmatrices"
+	// ArtifactTrainMeta is training progress (TrainMeta), present only
+	// in mid-training checkpoints.
+	ArtifactTrainMeta = "trainmeta"
+)
+
+// TrainMeta records how far training had progressed when a checkpoint
+// was taken, so capnn-train can resume instead of starting over.
+type TrainMeta struct {
+	// EpochsDone is the number of fully completed epochs; resume starts
+	// at epoch EpochsDone+1.
+	EpochsDone int
+	// TotalEpochs is the run's configured epoch count, so a resumed run
+	// detects a changed -epochs flag.
+	TotalEpochs int
+	// Seed is the training RNG seed the run was started with.
+	Seed int64
+}
+
+// PutNetwork stages a network under the given artifact name.
+func (t *Txn) PutNetwork(name string, net *nn.Network) error {
+	var buf bytes.Buffer
+	if err := nn.Save(&buf, net); err != nil {
+		return fmt.Errorf("store: encode %q: %w", name, err)
+	}
+	return t.Put(name, buf.Bytes())
+}
+
+// Network loads and decodes a network artifact.
+func (g *Generation) Network(name string) (*nn.Network, error) {
+	data, err := g.Bytes(name)
+	if err != nil {
+		return nil, err
+	}
+	net, err := nn.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("store: decode %q: %w", name, err)
+	}
+	return net, nil
+}
+
+// PutGob stages any gob-encodable value under the given artifact name.
+func (t *Txn) PutGob(name string, v any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return fmt.Errorf("store: encode %q: %w", name, err)
+	}
+	return t.Put(name, buf.Bytes())
+}
+
+// Gob loads an artifact and gob-decodes it into out (a pointer).
+func (g *Generation) Gob(name string, out any) error {
+	data, err := g.Bytes(name)
+	if err != nil {
+		return err
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("store: decode %q: %w", name, err)
+	}
+	return nil
+}
+
+// PutRates stages a firing-rate profile.
+func (t *Txn) PutRates(r *firing.Rates) error { return t.PutGob(ArtifactRates, r) }
+
+// Rates loads the firing-rate profile artifact.
+func (g *Generation) Rates() (*firing.Rates, error) {
+	var r firing.Rates
+	if err := g.Gob(ArtifactRates, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// PutTrainMeta stages training progress metadata.
+func (t *Txn) PutTrainMeta(m TrainMeta) error { return t.PutGob(ArtifactTrainMeta, m) }
+
+// TrainMeta loads the training progress artifact.
+func (g *Generation) TrainMeta() (TrainMeta, error) {
+	var m TrainMeta
+	err := g.Gob(ArtifactTrainMeta, &m)
+	return m, err
+}

@@ -1,0 +1,47 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzManifest throws arbitrary bytes at the manifest parser (it is the
+// one hand-rolled format in the store; everything else is gob or raw).
+// Invariants: never panic, and anything accepted must round-trip
+// byte-identically through Encode — otherwise two processes could
+// disagree about what a generation contains.
+func FuzzManifest(f *testing.F) {
+	good := &Manifest{
+		Version:         SchemaVersion,
+		Generation:      3,
+		CreatedUnixNano: 1722945600000000000,
+		Artifacts: []ArtifactInfo{
+			{Name: "model", Size: 123456, CRC: 0x9a0b1c2d},
+			{Name: "rates", Size: 2048, CRC: 0x00ff00ff},
+		},
+	}
+	f.Add(good.Encode())
+	f.Add((&Manifest{Version: SchemaVersion, Generation: 1, CreatedUnixNano: 0,
+		Artifacts: []ArtifactInfo{{Name: "maskcache", Size: 0, CRC: 0}}}).Encode())
+	f.Add([]byte("capnn-store-manifest v1\ngeneration 1\ncreated 0\nsum 00000000\n"))
+	f.Add([]byte("sum 00000000\n"))
+	f.Add([]byte(""))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			return
+		}
+		if m.Generation < 1 {
+			t.Fatalf("accepted generation %d", m.Generation)
+		}
+		for _, a := range m.Artifacts {
+			if !validArtifactName(a.Name) || a.Size < 0 {
+				t.Fatalf("accepted bad artifact %+v", a)
+			}
+		}
+		if !bytes.Equal(m.Encode(), data) {
+			t.Fatalf("accepted manifest does not round-trip:\n in: %q\nout: %q", data, m.Encode())
+		}
+	})
+}

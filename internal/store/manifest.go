@@ -1,0 +1,257 @@
+// Package store is the crash-safe state store behind CAP'NN's durable
+// artifacts: trained networks, firing-rate profiles, Algorithm 1
+// matrices, and the serve tier's mask cache. Every piece of state a
+// process would otherwise lose to a kill -9 is committed here as an
+// atomic, versioned, CRC-checksummed generation:
+//
+//	dir/
+//	  gen-0000000001/          one committed generation
+//	    MANIFEST               schema version + per-artifact size/CRC-32
+//	    model                  artifact files named by the manifest
+//	    rates
+//	  gen-0000000002/
+//	  tmp-*                    in-flight commits (swept on Open)
+//	  corrupt-gen-*            generations that failed verification
+//
+// A commit writes every artifact into a tmp- directory, fsyncs each
+// file, writes the manifest last, fsyncs the directory, and only then
+// renames it to gen-N (rename is atomic on POSIX) and fsyncs the
+// parent. A crash at any point leaves either the previous generations
+// untouched plus a tmp- directory (ignored and swept), or a fully
+// durable new generation — never a half-written visible one.
+//
+// Reads verify: Latest walks generations newest-first, checks the
+// manifest's own checksum and every artifact's size and CRC-32, and
+// rolls back to the newest generation that verifies, renaming failed
+// ones to corrupt-gen-* so they are kept for inspection but never
+// served or overwritten.
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// SchemaVersion is the manifest schema this package writes. Readers
+// reject manifests with a newer version: a rolled-back binary must not
+// misread state written by a newer one.
+const SchemaVersion = 1
+
+const (
+	manifestMagic = "capnn-store-manifest"
+	manifestName  = "MANIFEST"
+)
+
+// ArtifactInfo describes one artifact file of a generation.
+type ArtifactInfo struct {
+	// Name is the artifact's file name within the generation directory.
+	Name string
+	// Size is the exact byte length of the artifact file.
+	Size int64
+	// CRC is the IEEE CRC-32 of the artifact's contents.
+	CRC uint32
+}
+
+// Manifest is the per-generation table of contents. It is serialized
+// in a line-oriented text format with a trailing checksum line, so a
+// torn manifest write is detected exactly like a torn artifact write:
+//
+//	capnn-store-manifest v1
+//	generation 3
+//	created 1722945600000000000
+//	artifact model 123456 9a0b1c2d
+//	artifact rates 2048 00ff00ff
+//	sum 1a2b3c4d
+type Manifest struct {
+	// Version is the manifest schema version (SchemaVersion when written
+	// by this package).
+	Version int
+	// Generation is the generation number the manifest belongs to; it
+	// must match the gen-N directory name, so a manifest copied between
+	// directories fails verification.
+	Generation int
+	// CreatedUnixNano is the commit wall-clock time.
+	CreatedUnixNano int64
+	// Artifacts lists every artifact file, in the order written.
+	Artifacts []ArtifactInfo
+}
+
+// Artifact returns the named artifact's info, or false.
+func (m *Manifest) Artifact(name string) (ArtifactInfo, bool) {
+	for _, a := range m.Artifacts {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return ArtifactInfo{}, false
+}
+
+// validArtifactName reports whether name is safe as a file name inside
+// a generation directory: non-empty, no path structure, not the
+// manifest itself, and printable ASCII without spaces (the manifest
+// format is space-delimited).
+func validArtifactName(name string) bool {
+	if name == "" || name == manifestName || name == "." || name == ".." {
+		return false
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Encode renders the manifest in its canonical byte form, checksum
+// line included.
+func (m *Manifest) Encode() []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s v%d\n", manifestMagic, m.Version)
+	fmt.Fprintf(&b, "generation %d\n", m.Generation)
+	fmt.Fprintf(&b, "created %d\n", m.CreatedUnixNano)
+	for _, a := range m.Artifacts {
+		fmt.Fprintf(&b, "artifact %s %d %08x\n", a.Name, a.Size, a.CRC)
+	}
+	fmt.Fprintf(&b, "sum %08x\n", crc32.ChecksumIEEE(b.Bytes()))
+	return b.Bytes()
+}
+
+// ParseManifest parses and verifies a manifest previously written by
+// Encode. It is strict: any unknown line, misordered field, duplicate
+// artifact, malformed number, or checksum mismatch is an error — a
+// manifest that does not parse cleanly marks its generation corrupt.
+func ParseManifest(data []byte) (*Manifest, error) {
+	sumAt := bytes.LastIndex(data, []byte("\nsum "))
+	if sumAt < 0 {
+		return nil, fmt.Errorf("store: manifest missing checksum line")
+	}
+	body := data[:sumAt+1] // includes the newline before "sum"
+	sumLine := string(data[sumAt+1:])
+	if !strings.HasSuffix(sumLine, "\n") {
+		return nil, fmt.Errorf("store: manifest checksum line not newline-terminated")
+	}
+	sumHex := strings.TrimSuffix(strings.TrimPrefix(sumLine, "sum "), "\n")
+	sum, err := parseCRC(sumHex)
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest checksum: %w", err)
+	}
+	if got := crc32.ChecksumIEEE(body); got != sum {
+		return nil, fmt.Errorf("store: manifest checksum mismatch: %08x, want %08x", got, sum)
+	}
+
+	lines := strings.Split(strings.TrimSuffix(string(body), "\n"), "\n")
+	if len(lines) < 3 {
+		return nil, fmt.Errorf("store: manifest truncated (%d lines)", len(lines))
+	}
+	m := &Manifest{}
+	magic, vers, ok := strings.Cut(lines[0], " ")
+	if !ok || magic != manifestMagic || !strings.HasPrefix(vers, "v") {
+		return nil, fmt.Errorf("store: bad manifest header %q", lines[0])
+	}
+	version, err := parseCanonicalInt(vers[1:])
+	if err != nil {
+		return nil, fmt.Errorf("store: manifest version: %w", err)
+	}
+	m.Version = int(version)
+	if m.Version < 1 || m.Version > SchemaVersion {
+		return nil, fmt.Errorf("store: manifest schema v%d not supported (this build speaks ≤ v%d)", m.Version, SchemaVersion)
+	}
+	gen, err := parseIntField(lines[1], "generation")
+	if err != nil {
+		return nil, err
+	}
+	if gen < 1 || gen > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("store: manifest generation %d out of range", gen)
+	}
+	m.Generation = int(gen)
+	if m.CreatedUnixNano, err = parseIntField(lines[2], "created"); err != nil {
+		return nil, err
+	}
+
+	seen := map[string]bool{}
+	for _, line := range lines[3:] {
+		fields := strings.Split(line, " ")
+		if len(fields) != 4 || fields[0] != "artifact" {
+			return nil, fmt.Errorf("store: bad manifest line %q", line)
+		}
+		name := fields[1]
+		if !validArtifactName(name) {
+			return nil, fmt.Errorf("store: bad artifact name %q", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("store: duplicate artifact %q", name)
+		}
+		seen[name] = true
+		size, err := parseCanonicalInt(fields[2])
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("store: bad artifact size %q", fields[2])
+		}
+		crc, err := parseCRC(fields[3])
+		if err != nil {
+			return nil, fmt.Errorf("store: artifact %q: %w", name, err)
+		}
+		m.Artifacts = append(m.Artifacts, ArtifactInfo{Name: name, Size: size, CRC: crc})
+	}
+	return m, nil
+}
+
+// parseIntField parses "key N" returning N, insisting on the exact key.
+func parseIntField(line, key string) (int64, error) {
+	k, v, ok := strings.Cut(line, " ")
+	if !ok || k != key {
+		return 0, fmt.Errorf("store: manifest line %q, want %q field", line, key)
+	}
+	n, err := parseCanonicalInt(v)
+	if err != nil {
+		return 0, fmt.Errorf("store: manifest %s: %w", key, err)
+	}
+	return n, nil
+}
+
+// parseCanonicalInt accepts only the form Encode emits (%d): an
+// optional leading '-', no '+', no leading zeros. Manifests are
+// machine-written, so any non-canonical number is tampering or
+// corruption — and strictness keeps parse∘encode the identity, which
+// the fuzz target asserts.
+func parseCanonicalInt(s string) (int64, error) {
+	digits := strings.TrimPrefix(s, "-")
+	if digits == "" || (len(digits) > 1 && digits[0] == '0') {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	for _, r := range digits {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return n, nil
+}
+
+// parseCRC parses exactly eight lowercase hex digits (the form %08x
+// emits).
+func parseCRC(s string) (uint32, error) {
+	if len(s) != 8 {
+		return 0, fmt.Errorf("bad crc %q", s)
+	}
+	var n uint32
+	for _, r := range s {
+		switch {
+		case r >= '0' && r <= '9':
+			n = n<<4 | uint32(r-'0')
+		case r >= 'a' && r <= 'f':
+			n = n<<4 | uint32(r-'a'+10)
+		default:
+			return 0, fmt.Errorf("bad crc %q", s)
+		}
+	}
+	return n, nil
+}
