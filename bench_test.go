@@ -18,6 +18,8 @@ import (
 	"testing"
 	"time"
 
+	"capnn/internal/cloud"
+	"capnn/internal/cluster"
 	"capnn/internal/core"
 	"capnn/internal/exp"
 	"capnn/internal/firing"
@@ -511,4 +513,73 @@ func BenchmarkAblationLstart(b *testing.B) {
 			exp.PrintLstartAblation(os.Stdout, rows, 3, scale)
 		}
 	}
+}
+
+// BenchmarkGatewayRouting measures the cluster tier's two costs: the
+// consistent-hash lookup on the gateway's hot path (which must not
+// allocate — it runs once per request) and the end-to-end latency a
+// gateway adds over talking to a serve node directly (the acceptance
+// bar is <10% overhead; the gateway pools persistent backend
+// connections, so one extra hop is mostly one extra gob round trip on
+// localhost).
+func BenchmarkGatewayRouting(b *testing.B) {
+	b.Run("ring-lookup", func(b *testing.B) {
+		nodes := make([]string, 16)
+		for i := range nodes {
+			nodes[i] = fmt.Sprintf("10.0.0.%d:7879", i)
+		}
+		ring, err := cluster.NewRing(7, cluster.DefaultVirtualNodes, nodes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys := make([]string, 64)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("M/%016x", uint64(i)*2654435761)
+		}
+		var dst [3]string
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ring.LookupInto(keys[i%len(keys)], dst[:]) != 3 {
+				b.Fatal("lookup returned wrong owner count")
+			}
+		}
+	})
+
+	fx := cifarFixture(b)
+	srv := serve.NewServerWith(fx.Sys, serve.Config{MaxWait: time.Millisecond, DisableGuard: true})
+	defer srv.Close()
+	naddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := cluster.NewGateway([]string{naddr}, cluster.Config{Replication: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer g.Close()
+	gaddr, err := g.Listen("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	x1, _ := fx.Sets.Test.Batch([]int{0})
+	req := serve.WireRequest{Version: cloud.ProtocolVersion, Variant: "M", Classes: []int{3, 7}, Input: x1.Data()}
+	viaAddr := func(addr string) func(*testing.B) {
+		return func(b *testing.B) {
+			c := serve.NewClient(addr)
+			if resp, err := c.Infer(req); err != nil || resp.Code != cloud.CodeOK {
+				b.Fatalf("warm: %v / %+v", err, resp)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := c.Infer(req)
+				if err != nil || resp.Code != cloud.CodeOK {
+					b.Fatalf("infer: %v / %+v", err, resp)
+				}
+			}
+			b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "µs/req")
+		}
+	}
+	b.Run("direct-serve", viaAddr(naddr))
+	b.Run("via-gateway", viaAddr(gaddr))
 }

@@ -30,9 +30,11 @@ package capnn
 import (
 	"io"
 	"net"
+	"time"
 
 	"capnn/internal/baselines"
 	"capnn/internal/cloud"
+	"capnn/internal/cluster"
 	"capnn/internal/core"
 	"capnn/internal/data"
 	"capnn/internal/energy"
@@ -367,6 +369,61 @@ const (
 	BreakerHalfOpen = serve.BreakerHalfOpen
 )
 
+// --- cluster tier -------------------------------------------------------------
+
+// Gateway is the sharded serving tier's front door: it routes each
+// request's placement key (variant + Preferences.Key) to the serve
+// node that owns it on a consistent-hash ring, over pooled persistent
+// connections, failing over to the key's next ring replica when a node
+// dies and health-checking every node through a closed/open/half-open
+// breaker.
+type Gateway = cluster.Gateway
+
+// GatewayConfig tunes placement (Seed/VirtualNodes/Replication),
+// failover budgets, health probing, and the client-facing limits.
+type GatewayConfig = cluster.Config
+
+// GatewayStats snapshots a gateway's routing metrics: ring version,
+// request/failover/retry counters, and per-node breaker states with
+// probe latencies.
+type GatewayStats = cluster.Stats
+
+// GatewayNodeStats is one serve node as the gateway sees it.
+type GatewayNodeStats = cluster.NodeStats
+
+// Ring is the immutable consistent-hash ring: placement is a pure
+// function of (seed, virtual-node count, member set), so independent
+// gateways agree on routing without coordination.
+type Ring = cluster.Ring
+
+// NewRing builds a consistent-hash ring over the given member nodes.
+func NewRing(seed int64, vnodes int, nodes []string) (*Ring, error) {
+	return cluster.NewRing(seed, vnodes, nodes)
+}
+
+// NewGateway builds a gateway over the given serve-node addresses and
+// starts its health prober.
+func NewGateway(nodes []string, cfg GatewayConfig) (*Gateway, error) {
+	return cluster.NewGateway(nodes, cfg)
+}
+
+// DefaultGatewayConfig returns the production gateway defaults.
+func DefaultGatewayConfig() GatewayConfig { return cluster.DefaultConfig() }
+
+// ScrapeGatewayStats fetches a remote gateway's routing stats over the
+// wire (the OpStats scrape).
+func ScrapeGatewayStats(addr string, timeout time.Duration) (GatewayStats, error) {
+	return cluster.ScrapeStats(addr, timeout)
+}
+
+// Wire operations a ServeRequest can carry: inference (the zero value),
+// a remote stats scrape, or a health probe.
+const (
+	OpInfer  = serve.OpInfer
+	OpStats  = serve.OpStats
+	OpHealth = serve.OpHealth
+)
+
 // --- crash-safe state store ---------------------------------------------------
 
 // StateStore is the atomic, versioned, CRC-checksummed checkpoint store
@@ -387,11 +444,17 @@ type TrainMeta = store.TrainMeta
 
 // Canonical artifact names used by the CAP'NN binaries.
 const (
-	ArtifactModel     = store.ArtifactModel
-	ArtifactRates     = store.ArtifactRates
-	ArtifactMaskCache = store.ArtifactMaskCache
-	ArtifactTrainMeta = store.ArtifactTrainMeta
+	ArtifactModel      = store.ArtifactModel
+	ArtifactRates      = store.ArtifactRates
+	ArtifactMaskCache  = store.ArtifactMaskCache
+	ArtifactTrainMeta  = store.ArtifactTrainMeta
+	ArtifactRingConfig = store.ArtifactRingConfig
 )
+
+// RingConfig is the persisted cluster-ring configuration (seed,
+// virtual nodes, replication, version, members) a Gateway restores at
+// startup so placement survives restarts.
+type RingConfig = store.RingConfig
 
 // OpenStateStore opens (or creates) a checkpoint store with the default
 // retention of DefaultKeep generations.

@@ -1,0 +1,151 @@
+// Command capnn-gateway fronts a fleet of capnn-serve shards with a
+// consistent-hash router: each request's placement key (pruning variant
+// + canonical preference hash) pins it to the serve node whose mask
+// cache already holds that personalization, and node failures fail over
+// to the key's next ring replica without surfacing to clients.
+//
+//	capnn-gateway -addr 127.0.0.1:7878 \
+//	    -nodes 127.0.0.1:7879,127.0.0.1:7880,127.0.0.1:7881
+//
+// The gateway speaks exactly the serve wire protocol on its client
+// side, so devices point at it unchanged; on its backend side it keeps
+// pooled persistent connections per shard, probes each shard's health
+// every -probe-every (closed/open/half-open breaker), and answers
+// OpStats scrapes with its own routing metrics.
+//
+// With -state the gateway persists its ring configuration (seed,
+// virtual nodes, members, version) into the same crash-safe store the
+// serving tier uses, so a restarted gateway places every key exactly
+// where its predecessor did and no shard's cache locality is lost:
+//
+//	capnn-gateway -state /var/lib/capnn/gateway -nodes ...
+//
+// Like the other binaries it can injure its own client-facing
+// transport for resilience testing (-chaos "seed=7,drop=0.1,..."). On
+// SIGINT/SIGTERM it drains: stops accepting, sheds new requests with
+// busy, persists the ring, prints a final stats snapshot, and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"capnn/internal/cluster"
+	"capnn/internal/faults"
+	"capnn/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
+	nodesFlag := flag.String("nodes", "", "comma-separated serve node addresses (required)")
+	seed := flag.Int64("seed", 0, "consistent-hash seed; all gateways of one cluster must agree")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual ring points per serve node")
+	replication := flag.Int("replication", 2, "distinct owners per key (primary + failover replicas)")
+	probeEvery := flag.Duration("probe-every", 2*time.Second, "active health-probe period per node")
+	probeTimeout := flag.Duration("probe-timeout", time.Second, "bound on one health-probe round trip")
+	failThreshold := flag.Int("fail-threshold", 3, "consecutive failures that open a node's breaker")
+	cooldown := flag.Duration("cooldown", 5*time.Second, "how long an open node is skipped before a half-open trial")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "end-to-end budget per client request across all failover attempts")
+	attemptTimeout := flag.Duration("attempt-timeout", 0, "budget per single node attempt (0 = request-timeout/2)")
+	chaos := flag.String("chaos", "", "client-facing fault-injection spec, e.g. seed=7,drop=0.1,latency=20ms")
+	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
+	stateDir := flag.String("state", "", "ring-config store directory: restore placement from the latest good generation and persist membership changes (empty = stateless)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight connections at shutdown")
+	flag.Parse()
+
+	var nodes []string
+	for _, n := range strings.Split(*nodesFlag, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		fmt.Fprintln(os.Stderr, "capnn-gateway: -nodes is required (comma-separated serve addresses)")
+		os.Exit(2)
+	}
+	plan, err := faults.ParsePlan(*chaos)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := cluster.Config{
+		Seed:           *seed,
+		VirtualNodes:   *vnodes,
+		Replication:    *replication,
+		ProbeEvery:     *probeEvery,
+		ProbeTimeout:   *probeTimeout,
+		FailThreshold:  *failThreshold,
+		Cooldown:       *cooldown,
+		RequestTimeout: *reqTimeout,
+		AttemptTimeout: *attemptTimeout,
+	}
+	g, err := cluster.NewGateway(nodes, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stateDir != "" {
+		st, err := store.Open(*stateDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		restored, err := g.UseStore(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-gateway: ring store: %v\n", err)
+			os.Exit(1)
+		}
+		if restored {
+			r := g.Ring()
+			fmt.Printf("capnn-gateway: restored ring version %d (%d members, seed %d) from %s\n",
+				r.Version(), r.Len(), r.Seed(), *stateDir)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if plan.Active() {
+		fmt.Printf("capnn-gateway: CHAOS enabled: %+v\n", plan)
+		ln = faults.WrapListener(ln, plan)
+	}
+	bound := g.Serve(ln)
+	r := g.Ring()
+	fmt.Printf("capnn-gateway: routing %d nodes (ring v%d, replication %d, seed %d) on %s (Ctrl-C to stop)\n",
+		r.Len(), r.Version(), *replication, *seed, bound)
+
+	stop := make(chan struct{})
+	if *statsEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*statsEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					fmt.Printf("capnn-gateway: %s\n", g.Stats())
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	if err := g.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintf(os.Stderr, "capnn-gateway: drain: %v\n", err)
+	}
+	fmt.Printf("capnn-gateway: final %s\n", g.Stats())
+	fmt.Println("capnn-gateway: stopped")
+}

@@ -1,0 +1,130 @@
+// Command capnn-loadgen drives synthetic multi-user inference load at a
+// capnn-serve node or a capnn-gateway (they speak the same protocol)
+// and reports exactly what a client population saw: requests sent, OK,
+// failed. It retries nothing — the serving tier's availability story
+// (gateway failover, serve self-healing) must hold up against plain
+// one-shot clients, so any non-OK answer counts as a failure and flips
+// the exit code. That makes it the assertion half of
+// scripts/cluster_smoke.sh: kill a shard mid-load, and "0 failed" here
+// is the zero-client-visible-failures criterion.
+//
+//	capnn-loadgen -addr 127.0.0.1:7878 -model cifar10 -users 8 -n 300
+//
+// With -scrape it instead fetches and prints a gateway's routing stats
+// (ring version, failovers, per-node breaker states) and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/cluster"
+	"capnn/internal/exp"
+	"capnn/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7878", "gateway or serve address")
+	model := flag.String("model", "cifar10", "fixture the target serves: imagenet20 or cifar10")
+	users := flag.Int("users", 8, "distinct synthetic users (preference vectors)")
+	n := flag.Int("n", 300, "total requests")
+	concurrency := flag.Int("concurrency", 8, "concurrent client workers")
+	variant := flag.String("variant", "M", "pruning variant to request")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	progressEvery := flag.Int("progress-every", 50, "print a progress line every N completed requests")
+	scrape := flag.Bool("scrape", false, "fetch and print the target gateway's routing stats, then exit")
+	flag.Parse()
+
+	if *scrape {
+		st, err := cluster.ScrapeStats(*addr, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-loadgen: scrape %s: %v\n", *addr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("capnn-loadgen: gateway stats:\n%s\n", st)
+		return
+	}
+
+	var cfg exp.FixtureConfig
+	switch *model {
+	case "imagenet20":
+		cfg = exp.ImageNet20Config()
+	case "cifar10":
+		cfg = exp.CIFAR10Config()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		os.Exit(2)
+	}
+	fx, err := exp.Load(cfg, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	classes := cfg.Synth.Classes
+	reqs := make([]serve.WireRequest, *users)
+	for u := range reqs {
+		x, _ := fx.Sets.Test.Batch([]int{u % fx.Sets.Test.Len()})
+		reqs[u] = serve.WireRequest{
+			Version: cloud.ProtocolVersion,
+			Variant: *variant,
+			Classes: []int{u % classes, (u + 1) % classes},
+			Weights: []float64{1, 1 + float64(u / classes)},
+			Input:   x.Data(),
+		}
+	}
+
+	var sent, ok, failed atomic.Uint64
+	var failMu sync.Mutex
+	firstFail := ""
+	var wg sync.WaitGroup
+	for w := 0; w < *concurrency; w++ {
+		share := *n / *concurrency
+		if w < *n%*concurrency {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(w, share int) {
+			defer wg.Done()
+			c := serve.NewClient(*addr)
+			c.RequestTimeout = *timeout
+			for i := 0; i < share; i++ {
+				resp, err := c.Infer(reqs[(w+i)%len(reqs)])
+				switch {
+				case err != nil:
+					failed.Add(1)
+					noteFail(&failMu, &firstFail, err.Error())
+				case resp.Code != cloud.CodeOK:
+					failed.Add(1)
+					noteFail(&failMu, &firstFail, fmt.Sprintf("[%s] %s", resp.Code, resp.Err))
+				default:
+					ok.Add(1)
+				}
+				if s := sent.Add(1); *progressEvery > 0 && s%uint64(*progressEvery) == 0 {
+					fmt.Printf("capnn-loadgen: progress %d/%d\n", s, *n)
+				}
+			}
+		}(w, share)
+	}
+	wg.Wait()
+	fmt.Printf("capnn-loadgen: %d requests, %d ok, %d failed\n", sent.Load(), ok.Load(), failed.Load())
+	if failed.Load() > 0 {
+		fmt.Fprintf(os.Stderr, "capnn-loadgen: first failure: %s\n", firstFail)
+		os.Exit(1)
+	}
+}
+
+func noteFail(mu *sync.Mutex, first *string, msg string) {
+	mu.Lock()
+	if *first == "" {
+		*first = msg
+	}
+	mu.Unlock()
+}

@@ -137,22 +137,31 @@ func main() {
 			fmt.Printf("capnn-serve: no usable checkpoint in %s, starting cold\n", *stateDir)
 		}
 	}
+	// checkpoint commits one generation; failures are logged AND recorded
+	// in Stats (CheckpointErrors / LastCheckpointError) so a serving tier
+	// that keeps answering requests while silently failing to persist is
+	// visible to remote stats scrapes, not only to whoever tails stderr.
 	checkpoint := func() {
 		if st == nil {
 			return
 		}
+		fail := func(stage string, err error) {
+			err = fmt.Errorf("%s: %w", stage, err)
+			srv.NoteCheckpointError(err)
+			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+		}
 		txn, err := st.Begin()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			fail("begin", err)
 			return
 		}
 		defer txn.Abort()
 		if err := srv.SaveState(txn); err != nil {
-			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			fail("save", err)
 			return
 		}
 		if err := txn.Commit(); err != nil {
-			fmt.Fprintf(os.Stderr, "capnn-serve: checkpoint: %v\n", err)
+			fail("commit", err)
 			return
 		}
 		srv.NoteCheckpoint(txn.Generation())

@@ -38,11 +38,24 @@ const (
 	// failure) unrelated to the request's validity; a retry may land
 	// on a healthy path.
 	CodeInternal
+	// CodeWrongOwner means the contacted node is not the owner of the
+	// request's route key under the node's view of the cluster ring. A
+	// gateway resolves it by re-looking the key up on its current ring
+	// and retrying against the node that owns it now.
+	CodeWrongOwner
+	// CodeRingChanged means the node's ring version disagrees with the
+	// version stamped on the request: cluster membership changed while
+	// the request was in flight. Like CodeWrongOwner it is resolved by
+	// re-routing on a fresh ring, not by retrying the same node.
+	CodeRingChanged
 )
 
 // Retryable reports whether a client may reasonably retry after this
-// code.
-func (c Code) Retryable() bool { return c == CodeBusy || c == CodeInternal }
+// code. The routing codes are retryable in the sense that the same
+// request re-routed on a current ring is expected to succeed.
+func (c Code) Retryable() bool {
+	return c == CodeBusy || c == CodeInternal || c == CodeWrongOwner || c == CodeRingChanged
+}
 
 // String names the code for errors and logs.
 func (c Code) String() string {
@@ -55,6 +68,10 @@ func (c Code) String() string {
 		return "busy"
 	case CodeInternal:
 		return "internal"
+	case CodeWrongOwner:
+		return "wrong-owner"
+	case CodeRingChanged:
+		return "ring-changed"
 	default:
 		return "unknown"
 	}

@@ -1,0 +1,767 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/core"
+	"capnn/internal/serve"
+	"capnn/internal/store"
+)
+
+// maxReplication bounds the owner buffer the router keeps on its stack
+// so ring lookup stays allocation-free.
+const maxReplication = 8
+
+// Config tunes the gateway. Zero fields take DefaultConfig values.
+type Config struct {
+	// Seed salts consistent-hash placement: gateways that must agree on
+	// routing must share it. Default 0.
+	Seed int64
+	// VirtualNodes is the ring points per serve node. Default 128.
+	VirtualNodes int
+	// Replication is how many distinct serve nodes own each key: the
+	// primary plus R−1 failover replicas. A single node death therefore
+	// never makes a key unavailable when R ≥ 2. Default 2, max 8.
+	Replication int
+
+	// DialTimeout bounds establishing a backend connection;
+	// RequestTimeout bounds one client request end to end across every
+	// failover attempt; AttemptTimeout bounds a single node attempt so
+	// a black-holed connection cannot eat the whole failover budget.
+	// Defaults 5s / 30s / RequestTimeout/2.
+	DialTimeout    time.Duration
+	RequestTimeout time.Duration
+	AttemptTimeout time.Duration
+	// MaxIdlePerNode caps pooled idle connections per serve node.
+	// Default 4.
+	MaxIdlePerNode int
+
+	// ProbeEvery is the active health-check period; ProbeTimeout bounds
+	// one probe round trip. Defaults 2s / 1s.
+	ProbeEvery   time.Duration
+	ProbeTimeout time.Duration
+	// FailThreshold consecutive failures (probe or routed) open a
+	// node's breaker; Cooldown is how long an open node is skipped
+	// before a half-open trial. Defaults 3 / 5s.
+	FailThreshold int
+	Cooldown      time.Duration
+
+	// ReadTimeout / WriteTimeout / MaxRequestBytes are the client-facing
+	// TCP framing limits, with the same semantics as serve.Config.
+	// Defaults 30s / 30s / 1MiB.
+	ReadTimeout, WriteTimeout time.Duration
+	MaxRequestBytes           int64
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		VirtualNodes:    DefaultVirtualNodes,
+		Replication:     2,
+		DialTimeout:     5 * time.Second,
+		RequestTimeout:  30 * time.Second,
+		MaxIdlePerNode:  4,
+		ProbeEvery:      2 * time.Second,
+		ProbeTimeout:    time.Second,
+		FailThreshold:   3,
+		Cooldown:        5 * time.Second,
+		ReadTimeout:     30 * time.Second,
+		WriteTimeout:    30 * time.Second,
+		MaxRequestBytes: 1 << 20,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = d.VirtualNodes
+	}
+	if c.Replication <= 0 {
+		c.Replication = d.Replication
+	}
+	if c.Replication > maxReplication {
+		c.Replication = maxReplication
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = d.DialTimeout
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = c.RequestTimeout / 2
+	}
+	if c.MaxIdlePerNode <= 0 {
+		c.MaxIdlePerNode = d.MaxIdlePerNode
+	}
+	if c.ProbeEvery <= 0 {
+		c.ProbeEvery = d.ProbeEvery
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = d.ProbeTimeout
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = d.FailThreshold
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = d.Cooldown
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = d.ReadTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = d.WriteTimeout
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = d.MaxRequestBytes
+	}
+	return c
+}
+
+// nodeState is one serve node as managed by the gateway: its health
+// breaker and its connection pool. It outlives ring swaps (membership
+// changes reuse existing state for surviving nodes).
+type nodeState struct {
+	addr   string
+	health *nodeHealth
+	pool   *nodePool
+}
+
+// Gateway accepts the serve wire protocol and routes each request to
+// the serve node that owns its placement key on the consistent-hash
+// ring, failing over to the key's next ring replica on transport
+// error, busy shedding, or node-side misrouting rejection.
+type Gateway struct {
+	cfg Config
+	st  *gstats
+
+	// ring is the immutable routing snapshot; memberMu serializes
+	// membership changes (ring swaps + nodes map edits).
+	ring     atomic.Pointer[Ring]
+	memberMu sync.Mutex
+
+	nodesMu sync.RWMutex
+	nodes   map[string]*nodeState
+
+	storeMu sync.Mutex
+	stor    *store.Store
+
+	lnMu sync.Mutex
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	drainMu  sync.Mutex
+	draining bool
+
+	proberStop chan struct{}
+	proberWG   sync.WaitGroup
+}
+
+// NewGateway builds a gateway over the given serve-node addresses and
+// starts its health prober. Callers must Shutdown (or Close) the
+// gateway to stop the prober.
+func NewGateway(nodes []string, cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	ring, err := NewRing(cfg.Seed, cfg.VirtualNodes, nodes)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		cfg:        cfg,
+		st:         &gstats{},
+		nodes:      map[string]*nodeState{},
+		proberStop: make(chan struct{}),
+	}
+	g.ring.Store(ring)
+	for _, n := range ring.Nodes() {
+		g.nodes[n] = g.newNodeState(n)
+	}
+	g.proberWG.Add(1)
+	go g.probeLoop()
+	return g, nil
+}
+
+func (g *Gateway) newNodeState(addr string) *nodeState {
+	return &nodeState{
+		addr:   addr,
+		health: newNodeHealth(g.cfg.FailThreshold, g.cfg.Cooldown),
+		pool:   newNodePool(addr, g.cfg.DialTimeout, g.cfg.MaxIdlePerNode),
+	}
+}
+
+// Ring returns the current routing snapshot.
+func (g *Gateway) Ring() *Ring { return g.ring.Load() }
+
+func (g *Gateway) node(addr string) *nodeState {
+	g.nodesMu.RLock()
+	defer g.nodesMu.RUnlock()
+	return g.nodes[addr]
+}
+
+// AddNode joins a serve node: a new ring version is published and the
+// node starts receiving its share of the keyspace. Persisted when a
+// store is attached.
+func (g *Gateway) AddNode(addr string) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	next, err := g.ring.Load().Add(addr)
+	if err != nil {
+		return err
+	}
+	g.nodesMu.Lock()
+	if _, ok := g.nodes[addr]; !ok {
+		g.nodes[addr] = g.newNodeState(addr)
+	}
+	g.nodesMu.Unlock()
+	g.ring.Store(next)
+	return g.persistLocked()
+}
+
+// RemoveNode departs a serve node gracefully: the ring stops routing
+// new requests to it immediately (version+1), its pooled idle
+// connections are closed, and requests already in flight finish on the
+// connections they hold — the node itself then drains via its own
+// Shutdown path. Persisted when a store is attached.
+func (g *Gateway) RemoveNode(addr string) error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	next, err := g.ring.Load().Remove(addr)
+	if err != nil {
+		return err
+	}
+	g.ring.Store(next)
+	g.nodesMu.Lock()
+	ns := g.nodes[addr]
+	delete(g.nodes, addr)
+	g.nodesMu.Unlock()
+	if ns != nil {
+		ns.pool.closeAll()
+	}
+	return g.persistLocked()
+}
+
+// UseStore attaches a checkpoint store. When its latest good generation
+// carries a ring configuration, the gateway adopts it — same seed,
+// virtual nodes, members, and a version at least the persisted one — so
+// placement (and therefore every shard's mask-cache locality) survives
+// the restart. Returns whether a configuration was restored.
+func (g *Gateway) UseStore(st *store.Store) (bool, error) {
+	g.storeMu.Lock()
+	g.stor = st
+	g.storeMu.Unlock()
+	gen, err := st.Latest()
+	if err != nil {
+		if errors.Is(err, store.ErrNoGeneration) {
+			return false, g.PersistRing()
+		}
+		return false, err
+	}
+	if !gen.Has(store.ArtifactRingConfig) {
+		return false, g.PersistRing()
+	}
+	rc, err := gen.RingConfig()
+	if err != nil {
+		return false, err
+	}
+	if err := g.RestoreRingConfig(rc); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// RestoreRingConfig replaces the gateway's ring and membership with a
+// persisted configuration.
+func (g *Gateway) RestoreRingConfig(rc store.RingConfig) error {
+	ring, err := NewRing(rc.Seed, rc.VirtualNodes, rc.Nodes)
+	if err != nil {
+		return err
+	}
+	if rc.Version > ring.Version() {
+		ring.SetVersion(rc.Version)
+	}
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	g.cfg.Seed = rc.Seed
+	g.cfg.VirtualNodes = rc.VirtualNodes
+	if rc.Replication > 0 {
+		g.cfg.Replication = rc.Replication
+		if g.cfg.Replication > maxReplication {
+			g.cfg.Replication = maxReplication
+		}
+	}
+	g.nodesMu.Lock()
+	old := g.nodes
+	g.nodes = map[string]*nodeState{}
+	for _, n := range ring.Nodes() {
+		if ns, ok := old[n]; ok {
+			g.nodes[n] = ns
+			delete(old, n)
+		} else {
+			g.nodes[n] = g.newNodeState(n)
+		}
+	}
+	g.nodesMu.Unlock()
+	g.ring.Store(ring)
+	for _, ns := range old {
+		ns.pool.closeAll()
+	}
+	return nil
+}
+
+// PersistRing commits the current ring configuration to the attached
+// store (no-op without one).
+func (g *Gateway) PersistRing() error {
+	g.memberMu.Lock()
+	defer g.memberMu.Unlock()
+	return g.persistLocked()
+}
+
+func (g *Gateway) persistLocked() error {
+	g.storeMu.Lock()
+	st := g.stor
+	g.storeMu.Unlock()
+	if st == nil {
+		return nil
+	}
+	ring := g.ring.Load()
+	txn, err := st.Begin()
+	if err != nil {
+		return err
+	}
+	defer txn.Abort()
+	rc := store.RingConfig{
+		Seed:         ring.Seed(),
+		VirtualNodes: ring.VirtualNodes(),
+		Replication:  g.cfg.Replication,
+		Version:      ring.Version(),
+		Nodes:        append([]string(nil), ring.Nodes()...),
+	}
+	if err := txn.PutRingConfig(rc); err != nil {
+		return err
+	}
+	return txn.Commit()
+}
+
+// Stats snapshots the gateway's routing metrics.
+func (g *Gateway) Stats() Stats {
+	out := g.st.snapshot()
+	ring := g.ring.Load()
+	out.RingVersion = ring.Version()
+	out.Members = append([]string(nil), ring.Nodes()...)
+	out.Nodes = map[string]NodeStats{}
+	g.nodesMu.RLock()
+	for addr, ns := range g.nodes {
+		out.Nodes[addr] = ns.health.snapshot()
+	}
+	g.nodesMu.RUnlock()
+	return out
+}
+
+// RouteKey computes the placement key the gateway shards on: the
+// request's pruning variant plus the canonical preference hash
+// (core.Preferences.Key), i.e. exactly the serve tier's mask-cache key
+// shape — so one key's users always land where their personalization
+// is already cached.
+func RouteKey(req serve.WireRequest) (string, error) {
+	var prefs core.Preferences
+	if req.Weights == nil {
+		prefs = core.Uniform(req.Classes)
+	} else {
+		var err error
+		prefs, err = core.Weighted(req.Classes, req.Weights)
+		if err != nil {
+			return "", err
+		}
+	}
+	return strings.ToUpper(req.Variant) + "/" + prefs.Key(), nil
+}
+
+// Route answers one wire request through the cluster: placement lookup,
+// forward to the owner over a pooled connection, failover to ring
+// replicas on failure, re-route on node-side wrong-owner/ring-changed
+// rejection. Exposed so the routing path can be exercised (and
+// benchmarked) without sockets on the client side.
+func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
+	if g.isDraining() {
+		g.st.shedReq()
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy, Err: "gateway draining"}
+	}
+	if req.Version > cloud.ProtocolVersion {
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("protocol version %d not supported (gateway speaks ≤ %d)", req.Version, cloud.ProtocolVersion)}
+	}
+	key, err := RouteKey(req)
+	if err != nil {
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: err.Error()}
+	}
+	g.st.admitted()
+	req.RouteKey = key
+	deadline := time.Now().Add(g.cfg.RequestTimeout)
+
+	var owners [maxReplication]string
+	var last *serve.WireResponse
+	var lastErr error
+	attempts, prevAddr := 0, ""
+	// Two routing rounds: the second only runs when a node rejected the
+	// placement (wrong owner / ring changed), after reloading the ring.
+	for round := 0; round < 2; round++ {
+		ring := g.ring.Load()
+		req.RingVersion = ring.Version()
+		n := ring.LookupInto(key, owners[:g.cfg.Replication])
+		if n == 0 {
+			return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal, Err: "cluster: empty ring"}
+		}
+		reroute := false
+		for i := 0; i < n && !reroute; i++ {
+			if time.Now().After(deadline) {
+				g.st.errored()
+				return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy,
+					Err: fmt.Sprintf("cluster: request deadline %v exceeded during failover", g.cfg.RequestTimeout)}
+			}
+			addr := owners[i]
+			ns := g.node(addr)
+			if ns == nil || !ns.health.routable() {
+				continue // failed-out or departed node: next replica
+			}
+			if attempts > 0 {
+				g.st.retried()
+				if addr != prevAddr {
+					g.st.failedOver()
+				}
+			}
+			attempts++
+			prevAddr = addr
+			attemptDeadline := time.Now().Add(g.cfg.AttemptTimeout)
+			if attemptDeadline.After(deadline) {
+				attemptDeadline = deadline
+			}
+			resp, aerr := g.attempt(ns, &req, attemptDeadline)
+			if aerr != nil {
+				lastErr = aerr
+				continue
+			}
+			switch resp.Code {
+			case cloud.CodeOK, cloud.CodeBadRequest:
+				// Definitive: success, or a request no node can serve.
+				if resp.Code == cloud.CodeOK {
+					g.st.completed()
+				} else {
+					g.st.errored()
+				}
+				return resp
+			case cloud.CodeWrongOwner, cloud.CodeRingChanged:
+				// The node refused the placement. Its replicas may still
+				// serve it (their view can differ), so keep walking this
+				// round; a second full routing round runs only when the
+				// ring actually moved while we were trying.
+				g.st.wrongOwner()
+				last = resp
+				if g.ring.Load().Version() != ring.Version() {
+					reroute = true
+				}
+			default: // busy, internal: the replica may do better
+				last = resp
+			}
+		}
+		if !reroute {
+			break
+		}
+	}
+	g.st.errored()
+	if last != nil {
+		return last
+	}
+	msg := "cluster: no routable replica"
+	if lastErr != nil {
+		msg = fmt.Sprintf("cluster: all replicas failed: %v", lastErr)
+	}
+	return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal, Err: msg}
+}
+
+// attempt runs one exchange against one node. A failure on a reused
+// pooled connection gets a single fresh-dial retry before it counts
+// against the node: the server idle-times pooled connections out, and
+// that staleness is this gateway's problem, not the node's.
+func (g *Gateway) attempt(ns *nodeState, req *serve.WireRequest, deadline time.Time) (*serve.WireResponse, error) {
+	ns.health.routed()
+	pc, err := ns.pool.get()
+	if err != nil {
+		ns.health.record(false)
+		return nil, err
+	}
+	resp, err := pc.roundTrip(req, deadline)
+	if err != nil {
+		pc.close()
+		if pc.reused {
+			g.st.retried()
+			if pc2, derr := ns.pool.dial(); derr == nil {
+				resp, rerr := pc2.roundTrip(req, deadline)
+				if rerr == nil {
+					ns.pool.put(pc2)
+					ns.health.record(true)
+					return resp, nil
+				}
+				pc2.close()
+				err = rerr
+			} else {
+				err = derr
+			}
+		}
+		ns.health.record(false)
+		return nil, err
+	}
+	ns.pool.put(pc)
+	ns.health.record(true)
+	return resp, nil
+}
+
+// probeLoop drives active health checking: every ProbeEvery each member
+// node gets an OpHealth round trip (over the same pooled connections
+// traffic uses), and the outcome — including the RTT — feeds its
+// breaker and stats.
+func (g *Gateway) probeLoop() {
+	defer g.proberWG.Done()
+	tick := time.NewTicker(g.cfg.ProbeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.proberStop:
+			return
+		case <-tick.C:
+		}
+		g.nodesMu.RLock()
+		states := make([]*nodeState, 0, len(g.nodes))
+		for _, ns := range g.nodes {
+			states = append(states, ns)
+		}
+		g.nodesMu.RUnlock()
+		var wg sync.WaitGroup
+		for _, ns := range states {
+			wg.Add(1)
+			go func(ns *nodeState) {
+				defer wg.Done()
+				g.probe(ns)
+			}(ns)
+		}
+		wg.Wait()
+	}
+}
+
+// probe runs one OpHealth exchange against a node. It goes through the
+// same routable() gate as traffic: on an open node past cooldown the
+// probe claims the half-open trial (so a recovered node is closed again
+// by the prober, not only by risking a live request), and while the
+// cooldown runs — or another trial is in flight — the node is left
+// alone, because record() ignores outcomes in the open state anyway.
+func (g *Gateway) probe(ns *nodeState) {
+	if !ns.health.routable() {
+		return
+	}
+	start := time.Now()
+	deadline := start.Add(g.cfg.ProbeTimeout)
+	pc, err := ns.pool.get()
+	if err != nil {
+		ns.health.probed(false, 0)
+		return
+	}
+	req := &serve.WireRequest{Version: cloud.ProtocolVersion, Op: serve.OpHealth}
+	resp, err := pc.roundTrip(req, deadline)
+	if err != nil {
+		pc.close()
+		ns.health.probed(false, 0)
+		return
+	}
+	ns.pool.put(pc)
+	ns.health.probed(resp.Code == cloud.CodeOK, time.Since(start))
+}
+
+// Listen starts accepting client connections on addr and returns the
+// bound address.
+func (g *Gateway) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	return g.Serve(ln), nil
+}
+
+// Serve accepts client connections from ln — which may be wrapped,
+// e.g. with internal/faults — until Shutdown, and returns the
+// listener's address. The client-facing wire protocol is exactly
+// internal/serve's, so every existing serve.Client (and device) can
+// point at a gateway unchanged.
+func (g *Gateway) Serve(ln net.Listener) string {
+	g.lnMu.Lock()
+	g.ln = ln
+	g.lnMu.Unlock()
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			g.wg.Add(1)
+			go func() {
+				defer g.wg.Done()
+				defer conn.Close()
+				defer func() { _ = recover() }() // a handler panic must not kill the gateway
+				g.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// handle speaks the serve wire protocol on one client connection, with
+// the same persistent-connection and peer discipline as serve.Server:
+// per-request read deadline, size cap, write deadline, one gob codec
+// pair for the connection's lifetime.
+func (g *Gateway) handle(conn net.Conn) {
+	lr := &io.LimitedReader{R: conn}
+	dec := gob.NewDecoder(lr)
+	enc := gob.NewEncoder(conn)
+	for served := 0; ; served++ {
+		_ = conn.SetReadDeadline(time.Now().Add(g.cfg.ReadTimeout))
+		lr.N = g.cfg.MaxRequestBytes
+		var req serve.WireRequest
+		if err := dec.Decode(&req); err != nil {
+			if served > 0 {
+				return
+			}
+			msg := fmt.Sprintf("decode: %v", err)
+			if lr.N <= 0 {
+				msg = fmt.Sprintf("request exceeds size cap (%d bytes)", g.cfg.MaxRequestBytes)
+			}
+			g.respond(conn, enc, &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: msg})
+			return
+		}
+		var resp *serve.WireResponse
+		switch req.Op {
+		case serve.OpStats:
+			resp = g.statsResponse()
+		case serve.OpHealth:
+			if g.isDraining() {
+				resp = &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy, Err: "gateway draining"}
+			} else {
+				resp = &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK}
+			}
+		default:
+			resp = g.Route(req)
+		}
+		if !g.respond(conn, enc, resp) {
+			return
+		}
+	}
+}
+
+func (g *Gateway) respond(conn net.Conn, enc *gob.Encoder, resp *serve.WireResponse) bool {
+	_ = conn.SetWriteDeadline(time.Now().Add(g.cfg.WriteTimeout))
+	return enc.Encode(resp) == nil
+}
+
+// statsResponse answers OpStats with the gateway's own stats, carried
+// in the response's opaque payload (serve nodes answer the same op with
+// their typed Stats field).
+func (g *Gateway) statsResponse() *serve.WireResponse {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(g.Stats()); err != nil {
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal, Err: fmt.Sprintf("encode stats: %v", err)}
+	}
+	return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK, Payload: buf.Bytes()}
+}
+
+// ScrapeStats fetches a remote gateway's Stats over the wire.
+func ScrapeStats(addr string, timeout time.Duration) (Stats, error) {
+	c := serve.NewClient(addr)
+	c.RequestTimeout = timeout
+	conn, err := net.DialTimeout("tcp", addr, c.DialTimeout)
+	if err != nil {
+		return Stats{}, fmt.Errorf("cluster: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(timeout))
+	if err := gob.NewEncoder(conn).Encode(&serve.WireRequest{Version: cloud.ProtocolVersion, Op: serve.OpStats}); err != nil {
+		return Stats{}, fmt.Errorf("cluster: send: %w", err)
+	}
+	var resp serve.WireResponse
+	if err := gob.NewDecoder(conn).Decode(&resp); err != nil {
+		return Stats{}, fmt.Errorf("cluster: receive: %w", err)
+	}
+	if resp.Code != cloud.CodeOK {
+		return Stats{}, fmt.Errorf("cluster: scrape: [%s] %s", resp.Code, resp.Err)
+	}
+	var st Stats
+	if err := gob.NewDecoder(bytes.NewReader(resp.Payload)).Decode(&st); err != nil {
+		return Stats{}, fmt.Errorf("cluster: decode stats payload: %w", err)
+	}
+	return st, nil
+}
+
+func (g *Gateway) isDraining() bool {
+	g.drainMu.Lock()
+	defer g.drainMu.Unlock()
+	return g.draining
+}
+
+// Shutdown drains the gateway: the listener stops accepting, new
+// requests are shed with CodeBusy, the health prober stops, in-flight
+// client connections get up to timeout to finish, backend pools close,
+// and the ring configuration is persisted one last time when a store is
+// attached.
+func (g *Gateway) Shutdown(timeout time.Duration) error {
+	g.lnMu.Lock()
+	ln := g.ln
+	g.ln = nil
+	g.lnMu.Unlock()
+	var lnErr error
+	if ln != nil {
+		lnErr = ln.Close()
+	}
+	g.drainMu.Lock()
+	first := !g.draining
+	g.draining = true
+	g.drainMu.Unlock()
+	if first {
+		close(g.proberStop)
+	}
+	g.proberWG.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		g.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		drainErr = fmt.Errorf("cluster: drain deadline %v exceeded with connections in flight", timeout)
+	}
+	g.nodesMu.RLock()
+	for _, ns := range g.nodes {
+		ns.pool.closeAll()
+	}
+	g.nodesMu.RUnlock()
+	if err := g.PersistRing(); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return drainErr
+	}
+	return lnErr
+}
+
+// Close is Shutdown with a generous deadline.
+func (g *Gateway) Close() error { return g.Shutdown(time.Minute) }

@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"capnn/internal/serve"
+)
+
+// nodeHealth is a per-node closed/open/half-open breaker — the same
+// shape internal/serve uses to guard repersonalization, re-cut for
+// routing: outcomes come from both active health probes (OpHealth every
+// ProbeEvery) and live routed traffic, and the state answers one
+// question for the router: "should this node receive requests right
+// now?"
+//
+// Closed: the node is healthy and routable. FailThreshold consecutive
+// failures open it. Open: the node is skipped by routing (failover goes
+// to the key's next replica) until Cooldown elapses, when the next
+// attempt — probe or routed request — claims the half-open trial slot.
+// Half-open: one trial in flight; success closes, failure re-opens.
+type nodeHealth struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu       sync.Mutex
+	state    serve.BreakerState
+	failures int // consecutive failures while closed
+	openedAt time.Time
+	probing  bool // half-open trial in flight
+
+	// gauges surfaced in Stats
+	requests, nodeFailures   uint64
+	probes, probeFailures    uint64
+	probeLatNs               int64 // cumulative successful-probe RTT
+	probeSamples             uint64
+	opens, closes, halfOpens uint64
+	lastProbe                time.Duration // last successful probe RTT
+}
+
+func newNodeHealth(threshold int, cooldown time.Duration) *nodeHealth {
+	return &nodeHealth{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     serve.BreakerClosed,
+	}
+}
+
+// routable reports whether the router may send this node a request.
+// An open node whose cooldown has elapsed converts the call into the
+// half-open trial claim, so live traffic (not just the prober) can
+// rediscover a recovered node.
+func (h *nodeHealth) routable() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch h.state {
+	case serve.BreakerClosed:
+		return true
+	case serve.BreakerOpen:
+		if h.now().Sub(h.openedAt) < h.cooldown {
+			return false
+		}
+		h.state = serve.BreakerHalfOpen
+		h.halfOpens++
+		h.probing = true
+		return true
+	default: // half-open
+		if h.probing {
+			return false // one trial at a time
+		}
+		h.probing = true
+		return true
+	}
+}
+
+// record feeds one outcome (routed request or probe) into the state
+// machine.
+func (h *nodeHealth) record(ok bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if !ok {
+		h.nodeFailures++
+	}
+	switch h.state {
+	case serve.BreakerHalfOpen:
+		h.probing = false
+		if ok {
+			h.state = serve.BreakerClosed
+			h.closes++
+			h.failures = 0
+		} else {
+			h.state = serve.BreakerOpen
+			h.opens++
+			h.openedAt = h.now()
+		}
+	case serve.BreakerClosed:
+		if ok {
+			h.failures = 0
+			return
+		}
+		h.failures++
+		if h.failures >= h.threshold {
+			h.state = serve.BreakerOpen
+			h.opens++
+			h.openedAt = h.now()
+		}
+	default:
+		// Open: a straggler outcome from before the trip; ignore.
+	}
+}
+
+// routed counts a request sent to this node.
+func (h *nodeHealth) routed() {
+	h.mu.Lock()
+	h.requests++
+	h.mu.Unlock()
+}
+
+// probed records a health-probe outcome with its round-trip time.
+func (h *nodeHealth) probed(ok bool, rtt time.Duration) {
+	h.mu.Lock()
+	h.probes++
+	if ok {
+		h.lastProbe = rtt
+		h.probeLatNs += int64(rtt)
+		h.probeSamples++
+	} else {
+		h.probeFailures++
+	}
+	h.mu.Unlock()
+	h.record(ok)
+}
+
+// snapshot fills one NodeStats.
+func (h *nodeHealth) snapshot() NodeStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return NodeStats{
+		State:         h.state,
+		Requests:      h.requests,
+		Failures:      h.nodeFailures,
+		Probes:        h.probes,
+		ProbeFailures: h.probeFailures,
+		LastProbe:     h.lastProbe,
+		ProbeLatNs:    h.probeLatNs,
+		ProbeSamples:  h.probeSamples,
+		Opens:         h.opens,
+		Closes:        h.closes,
+		HalfOpens:     h.halfOpens,
+	}
+}

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"capnn/internal/serve"
+)
+
+// pooledConn is one persistent connection to a serve node with its gob
+// codec pair. Gob streams send type definitions once per stream, so the
+// encoder/decoder must live exactly as long as the connection — a fresh
+// codec on a reused connection (or vice versa) desynchronizes the
+// stream.
+type pooledConn struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	// reused marks a connection that already completed an exchange: a
+	// failure on it may just mean the server idle-timed it out, so the
+	// caller retries once on a fresh dial before blaming the node.
+	reused bool
+}
+
+func (pc *pooledConn) close() { _ = pc.conn.Close() }
+
+// roundTrip runs one request/response exchange under a deadline. Any
+// transport error poisons the connection; the caller must close it.
+func (pc *pooledConn) roundTrip(req *serve.WireRequest, deadline time.Time) (*serve.WireResponse, error) {
+	if err := pc.conn.SetDeadline(deadline); err != nil {
+		return nil, fmt.Errorf("deadline: %w", err)
+	}
+	if err := pc.enc.Encode(req); err != nil {
+		return nil, fmt.Errorf("send: %w", err)
+	}
+	var resp serve.WireResponse
+	if err := pc.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("receive: %w", err)
+	}
+	return &resp, nil
+}
+
+// nodePool keeps idle persistent connections to one serve node. A get
+// pops an idle connection or dials a new one; put returns a healthy
+// connection for reuse. Broken connections are simply closed, never
+// returned.
+type nodePool struct {
+	addr        string
+	dialTimeout time.Duration
+	maxIdle     int
+
+	mu     sync.Mutex
+	idle   []*pooledConn
+	closed bool
+}
+
+func newNodePool(addr string, dialTimeout time.Duration, maxIdle int) *nodePool {
+	return &nodePool{addr: addr, dialTimeout: dialTimeout, maxIdle: maxIdle}
+}
+
+// get returns a connection to the node, reusing an idle one when
+// possible.
+func (p *nodePool) get() (*pooledConn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("cluster: pool for %s closed", p.addr)
+	}
+	return p.dial()
+}
+
+// dial always opens a fresh connection (bypassing idle), for the
+// retry-after-stale path.
+func (p *nodePool) dial() (*pooledConn, error) {
+	conn, err := net.DialTimeout("tcp", p.addr, p.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("dial %s: %w", p.addr, err)
+	}
+	return &pooledConn{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// put returns a healthy connection to the idle set (closing it if the
+// pool is full or closed).
+func (p *nodePool) put(pc *pooledConn) {
+	pc.reused = true
+	// Clear the per-request deadline so an idle connection is not
+	// spuriously expired by the kernel while pooled.
+	_ = pc.conn.SetDeadline(time.Time{})
+	p.mu.Lock()
+	if p.closed || len(p.idle) >= p.maxIdle {
+		p.mu.Unlock()
+		pc.close()
+		return
+	}
+	p.idle = append(p.idle, pc)
+	p.mu.Unlock()
+}
+
+// closeAll closes every idle connection and marks the pool closed (a
+// departed node's in-flight requests finish on the connections they
+// hold; nothing new is dialed).
+func (p *nodePool) closeAll() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, pc := range idle {
+		pc.close()
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"capnn/internal/serve"
+)
+
+// Stats is a point-in-time snapshot of a Gateway's routing metrics.
+// Counters are cumulative since the gateway started.
+type Stats struct {
+	// RingVersion is the current membership version; Members the
+	// current serve-node set (sorted).
+	RingVersion uint64
+	Members     []string
+
+	// Requests counts client requests admitted for routing; Completed
+	// the subset answered with CodeOK; Errors the subset that exhausted
+	// every attempt; Shed the requests rejected while draining.
+	Requests, Completed, Errors, Shed uint64
+
+	// Retries counts extra attempts after the first (same node redial
+	// or replica), Failovers the subset that moved to a different node,
+	// and WrongOwner the node-rejected attempts (CodeWrongOwner /
+	// CodeRingChanged) that forced a re-route on a fresh ring.
+	Retries, Failovers, WrongOwner uint64
+
+	// Nodes holds per-node routing and health-probe metrics.
+	Nodes map[string]NodeStats
+}
+
+// NodeStats is one serve node as the gateway sees it.
+type NodeStats struct {
+	// State is the node's breaker state: closed (routable), open
+	// (failed out), half-open (one trial in flight).
+	State serve.BreakerState
+	// Requests counts routed attempts to this node; Failures the
+	// attempts (routed or probe) that failed.
+	Requests, Failures uint64
+	// Probes / ProbeFailures count active health probes; LastProbe is
+	// the most recent successful probe's round trip, ProbeLatNs /
+	// ProbeSamples accumulate successful probe RTTs for MeanProbe.
+	Probes, ProbeFailures uint64
+	LastProbe             time.Duration
+	ProbeLatNs            int64
+	ProbeSamples          uint64
+	// Opens/Closes/HalfOpens count breaker transitions.
+	Opens, Closes, HalfOpens uint64
+}
+
+// MeanProbe is the mean successful probe round trip (0 before the
+// first success).
+func (n NodeStats) MeanProbe() time.Duration {
+	if n.ProbeSamples == 0 {
+		return 0
+	}
+	return time.Duration(n.ProbeLatNs / int64(n.ProbeSamples))
+}
+
+// String renders the snapshot as a compact block for logs and the
+// capnn-gateway stats dump.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ring: version=%d members=%d\n", s.RingVersion, len(s.Members))
+	fmt.Fprintf(&b, "requests=%d completed=%d errors=%d shed=%d\n", s.Requests, s.Completed, s.Errors, s.Shed)
+	fmt.Fprintf(&b, "routing: retries=%d failovers=%d wrong-owner=%d", s.Retries, s.Failovers, s.WrongOwner)
+	names := make([]string, 0, len(s.Nodes))
+	for n := range s.Nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ns := s.Nodes[n]
+		fmt.Fprintf(&b, "\nnode %s: state=%s requests=%d failures=%d probes=%d probe-failures=%d last-probe=%v mean-probe=%v",
+			n, ns.State, ns.Requests, ns.Failures, ns.Probes, ns.ProbeFailures,
+			ns.LastProbe.Round(time.Microsecond), ns.MeanProbe().Round(time.Microsecond))
+	}
+	return b.String()
+}
+
+// gstats is the live, locked accumulator behind Stats snapshots
+// (per-node counters live in each nodeHealth).
+type gstats struct {
+	mu sync.Mutex
+	s  Stats
+}
+
+func (st *gstats) add(f func(*Stats)) {
+	st.mu.Lock()
+	f(&st.s)
+	st.mu.Unlock()
+}
+
+func (st *gstats) admitted()   { st.add(func(s *Stats) { s.Requests++ }) }
+func (st *gstats) completed()  { st.add(func(s *Stats) { s.Completed++ }) }
+func (st *gstats) errored()    { st.add(func(s *Stats) { s.Errors++ }) }
+func (st *gstats) shedReq()    { st.add(func(s *Stats) { s.Shed++ }) }
+func (st *gstats) retried()    { st.add(func(s *Stats) { s.Retries++ }) }
+func (st *gstats) failedOver() { st.add(func(s *Stats) { s.Failovers++ }) }
+func (st *gstats) wrongOwner() { st.add(func(s *Stats) { s.WrongOwner++ }) }
+
+func (st *gstats) snapshot() Stats {
+	st.mu.Lock()
+	out := st.s
+	st.mu.Unlock()
+	return out
+}

@@ -322,3 +322,79 @@ func TestKeyDoesNotMutate(t *testing.T) {
 		}
 	}
 }
+
+// TestKeyGolden pins exact key strings. These literals became
+// load-bearing when the cluster tier started routing on Key: changing
+// the canonicalization or hash silently remaps every key in every
+// deployed cluster (and invalidates every persisted mask cache), so
+// any such change must fail here first.
+func TestKeyGolden(t *testing.T) {
+	for name, tc := range map[string]struct {
+		p    Preferences
+		want string
+	}{
+		"uniform{0,1}": {Uniform([]int{0, 1}), "3964d3d144685380"},
+		"weighted4:3:2:1": {
+			Preferences{Classes: []int{0, 1, 2, 3}, Weights: []float64{4, 3, 2, 1}},
+			"14ab3998ec795aeb",
+		},
+		"single{7}": {Uniform([]int{7}), "3be6bcaaf5d13eeb"},
+		"empty":     {Preferences{}, "cbf29ce484222325"},
+	} {
+		if got := tc.p.Key(); got != tc.want {
+			t.Errorf("%s: key %s, want %s (canonicalization changed — this remaps every deployed cluster)", name, got, tc.want)
+		}
+	}
+}
+
+// TestKeyQuantizationBoundary pins the 1e-6 quantum: weight deltas well
+// below it collapse into one key (float noise must not fragment caches
+// or cluster placement), deltas above it separate (genuinely different
+// usage mixes must not alias).
+func TestKeyQuantizationBoundary(t *testing.T) {
+	base, _ := Weighted([]int{0, 1}, []float64{0.25, 0.75})
+	below, _ := Weighted([]int{0, 1}, []float64{0.25 + 4e-7, 0.75 - 4e-7})
+	if base.Key() != below.Key() {
+		t.Error("sub-quantum delta (0.4e-6) fragments the key")
+	}
+	above, _ := Weighted([]int{0, 1}, []float64{0.25 + 2.1e-6, 0.75 - 2.1e-6})
+	if base.Key() == above.Key() {
+		t.Error("super-quantum delta (2.1e-6) aliases a different preference vector")
+	}
+}
+
+// TestKeyNearCollisions: a dense family of nearly identical users —
+// adjacent quantization buckets — must all key distinctly.
+func TestKeyNearCollisions(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < 100; i++ {
+		p, err := Weighted([]int{3, 5}, []float64{1 + float64(i)*1e-4, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := p.Key()
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("users %d and %d (Δweight %.1e) collide on %s", prev, i, float64(i-prev)*1e-4, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestKeyDegenerateVectors: Key is total — unvalidated garbage hashes
+// to a well-defined, consistent key rather than panicking, and the
+// mismatched-length prefix rule is pinned.
+func TestKeyDegenerateVectors(t *testing.T) {
+	zeroA := Preferences{Classes: []int{1, 2}, Weights: []float64{0, 0}}
+	zeroB := Preferences{Classes: []int{2, 1}, Weights: []float64{0, 0}}
+	if zeroA.Key() != zeroB.Key() {
+		t.Error("all-zero weight vectors with permuted classes should share a key")
+	}
+	if zeroA.Key() == Uniform([]int{1, 2}).Key() {
+		t.Error("all-zero weights alias uniform preferences")
+	}
+	long := Preferences{Classes: []int{1, 2, 3}, Weights: []float64{0.5, 0.5}}
+	short, _ := Weighted([]int{1, 2}, []float64{0.5, 0.5})
+	if long.Key() != short.Key() {
+		t.Error("length-mismatched vector must hash its consistent prefix")
+	}
+}

@@ -36,6 +36,11 @@ const (
 	// Corrupt flips one byte in every write, modeling payload
 	// corruption in transit.
 	Corrupt
+	// Refuse severs the connection the moment it is accepted, so the
+	// peer sees an immediate reset — the fast-fail face of a network
+	// partition (RSTs from a middlebox, a crashed process whose port
+	// is still bound). The slow face — silence — is Drop.
+	Refuse
 )
 
 // String names the mode for logs and test failure messages.
@@ -49,6 +54,8 @@ func (m Mode) String() string {
 		return "close"
 	case Corrupt:
 		return "corrupt"
+	case Refuse:
+		return "refuse"
 	default:
 		return fmt.Sprintf("mode(%d)", int(m))
 	}
@@ -79,11 +86,15 @@ type Plan struct {
 	// CorruptProb is the probability an accepted connection flips one
 	// byte per write.
 	CorruptProb float64
+	// RefuseProb is the probability an accepted connection is severed
+	// immediately (partition-style fast failure); peers should see a
+	// reset before any byte of the response.
+	RefuseProb float64
 }
 
 // Active reports whether the plan injects any fault at all.
 func (p Plan) Active() bool {
-	return p.Latency > 0 || p.DropProb > 0 || p.CloseProb > 0 || p.CorruptProb > 0
+	return p.Latency > 0 || p.DropProb > 0 || p.CloseProb > 0 || p.CorruptProb > 0 || p.RefuseProb > 0
 }
 
 // Validate checks probabilities are sane and jointly form a
@@ -92,12 +103,12 @@ func (p Plan) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
-	}{{"drop", p.DropProb}, {"close", p.CloseProb}, {"corrupt", p.CorruptProb}} {
+	}{{"drop", p.DropProb}, {"close", p.CloseProb}, {"corrupt", p.CorruptProb}, {"refuse", p.RefuseProb}} {
 		if pr.v < 0 || pr.v > 1 {
 			return fmt.Errorf("faults: %s probability %v outside [0,1]", pr.name, pr.v)
 		}
 	}
-	if s := p.DropProb + p.CloseProb + p.CorruptProb; s > 1 {
+	if s := p.DropProb + p.CloseProb + p.CorruptProb + p.RefuseProb; s > 1 {
 		return fmt.Errorf("faults: fault probabilities sum to %v > 1", s)
 	}
 	if p.Latency < 0 {
@@ -123,7 +134,7 @@ func (p Plan) closeAfter() int64 {
 // ParsePlan parses a comma-separated chaos spec as accepted by the
 // -chaos flag, e.g.
 //
-//	seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms,dropafter=64,closeafter=256
+//	seed=7,drop=0.1,close=0.2,corrupt=0.2,refuse=0.1,latency=20ms,dropafter=64,closeafter=256
 //
 // Unknown keys are an error; omitted keys keep their zero defaults.
 func ParsePlan(spec string) (Plan, error) {
@@ -147,6 +158,8 @@ func ParsePlan(spec string) (Plan, error) {
 			p.CloseProb, err = strconv.ParseFloat(val, 64)
 		case "corrupt":
 			p.CorruptProb, err = strconv.ParseFloat(val, 64)
+		case "refuse":
+			p.RefuseProb, err = strconv.ParseFloat(val, 64)
 		case "latency":
 			p.Latency, err = time.ParseDuration(val)
 		case "dropafter":
@@ -193,6 +206,9 @@ func (l *Listener) Accept() (net.Conn, error) {
 	connSeed := l.rng.Int63()
 	l.n++
 	l.mu.Unlock()
+	if mode == Refuse {
+		_ = c.Close() // sever before any byte moves; reads/writes fail fast
+	}
 	return WrapConn(c, l.plan, mode, connSeed), nil
 }
 
@@ -204,6 +220,8 @@ func pickMode(p Plan, r float64) Mode {
 		return CloseMidStream
 	case r < p.DropProb+p.CloseProb+p.CorruptProb:
 		return Corrupt
+	case r < p.DropProb+p.CloseProb+p.CorruptProb+p.RefuseProb:
+		return Refuse
 	default:
 		return Clean
 	}
@@ -320,4 +338,84 @@ func max64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// Partition is a test-controlled network partition around one
+// listener: while partitioned, every already-established connection is
+// severed and every newly accepted one is closed before a byte moves —
+// the socket-level signature of a node that fell off the network (or
+// was kill -9'd) as seen by its peers. Unlike the probabilistic Plan
+// faults it is deterministic and reversible, which is what multi-node
+// failover tests need: partition node B, assert the gateway routes
+// around it, heal, assert it rejoins.
+type Partition struct {
+	net.Listener
+
+	mu          sync.Mutex
+	partitioned bool
+	conns       map[net.Conn]struct{}
+}
+
+// PartitionListener wraps ln; the partition starts healed.
+func PartitionListener(ln net.Listener) *Partition {
+	return &Partition{Listener: ln, conns: map[net.Conn]struct{}{}}
+}
+
+// SetPartitioned toggles the partition. Turning it on severs all live
+// connections accepted through this wrapper.
+func (p *Partition) SetPartitioned(v bool) {
+	p.mu.Lock()
+	p.partitioned = v
+	var sever []net.Conn
+	if v {
+		for c := range p.conns {
+			sever = append(sever, c)
+		}
+		p.conns = map[net.Conn]struct{}{}
+	}
+	p.mu.Unlock()
+	for _, c := range sever {
+		_ = c.Close()
+	}
+}
+
+// Partitioned reports the current state.
+func (p *Partition) Partitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+// Accept accepts from the underlying listener; while partitioned the
+// connection is closed immediately (the server sees an instant EOF, the
+// peer a reset).
+func (p *Partition) Accept() (net.Conn, error) {
+	c, err := p.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	pc := &partitionConn{Conn: c, p: p}
+	p.mu.Lock()
+	if p.partitioned {
+		p.mu.Unlock()
+		_ = c.Close()
+		return pc, nil
+	}
+	p.conns[pc] = struct{}{}
+	p.mu.Unlock()
+	return pc, nil
+}
+
+// partitionConn untracks itself on Close so healed partitions do not
+// accumulate dead handles.
+type partitionConn struct {
+	net.Conn
+	p *Partition
+}
+
+func (c *partitionConn) Close() error {
+	c.p.mu.Lock()
+	delete(c.p.conns, c)
+	c.p.mu.Unlock()
+	return c.Conn.Close()
 }

@@ -101,3 +101,14 @@ func (s *Server) RestoreState(g *store.Generation) (int, error) {
 // NoteCheckpoint records a checkpoint this server's state was just
 // committed as, for the Stats generation/age gauges.
 func (s *Server) NoteCheckpoint(generation int) { s.st.noteCheckpoint(generation) }
+
+// NoteCheckpointError records a failed checkpoint attempt so the outage
+// is visible in Stats (CheckpointErrors / LastCheckpointError) and in
+// remote OpStats scrapes, not just in whatever log line the caller
+// printed. The next successful NoteCheckpoint clears the last error.
+func (s *Server) NoteCheckpointError(err error) {
+	if err == nil {
+		return
+	}
+	s.st.noteCheckpointError(err)
+}

@@ -19,18 +19,48 @@ import (
 // speaks the personalization protocol needs no new error handling to
 // speak the inference protocol.
 
+// Op selects what a WireRequest asks the server to do. The zero value
+// is an inference, so pre-op clients (which never set the field) keep
+// working unchanged.
+type Op int
+
+const (
+	// OpInfer runs one personalized inference (the original protocol).
+	OpInfer Op = iota
+	// OpStats asks for a Stats snapshot — the remote scrape behind
+	// dashboards and the gateway, instead of only a SIGINT dump.
+	OpStats
+	// OpHealth is a lightweight liveness probe: CodeOK when the server
+	// is accepting work, CodeBusy when it is draining. Gateways drive
+	// their per-node breaker state off this op.
+	OpHealth
+)
+
 // WireRequest is one inference over the wire: the user's preferences
 // (same fields as cloud.Request) plus the input sample, flattened in
 // the model's [C,H,W] order.
 type WireRequest struct {
 	// Version is the protocol version the client speaks (cloud versioning).
 	Version int
+	// Op selects the operation; zero is OpInfer for backward
+	// compatibility.
+	Op Op
 	// Variant is "B", "W", "M", or "" for the server default.
 	Variant string
 	Classes []int
 	Weights []float64
 	// Input is the flattened per-sample tensor.
 	Input []float64
+
+	// RouteKey and RingVersion are routing metadata stamped by a
+	// cluster gateway: the canonical placement key the request was
+	// routed under and the gateway's ring version. A node with an
+	// installed owner check (SetOwnerCheck) uses them to reject
+	// misrouted traffic with CodeWrongOwner / CodeRingChanged instead
+	// of silently serving keys it no longer owns. Empty / zero on
+	// direct (non-gateway) requests.
+	RouteKey    string
+	RingVersion uint64
 }
 
 // WireResponse carries the logits or a typed error.
@@ -49,6 +79,15 @@ type WireResponse struct {
 	// Fallback reports the request was served through the unpruned
 	// network because its mask entry's ε-guard tripped (see Result).
 	Fallback bool
+	// Stats carries the server's snapshot for OpStats responses (nil
+	// otherwise).
+	Stats *Stats
+	// Payload is an op-specific, gob-encoded extension blob this
+	// package treats as opaque: a cluster gateway answers OpStats with
+	// its own gateway stats here (see internal/cluster), keeping the
+	// tier's wire format single-typed without coupling serve to the
+	// cluster layer.
+	Payload []byte
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -88,31 +127,51 @@ func (s *Server) Serve(ln net.Listener) string {
 	return ln.Addr().String()
 }
 
-// handle runs one request/response exchange with the cloud server's
-// peer discipline: a read deadline so a hung client cannot hold the
-// goroutine, a size cap on the decoder, and a write deadline for peers
-// that stop reading.
+// handle runs request/response exchanges on one connection with the
+// cloud server's peer discipline: a read deadline so a hung client
+// cannot hold the goroutine, a size cap on the decoder, and a write
+// deadline for peers that stop reading.
+//
+// Connections are persistent: after responding, the handler waits (up
+// to ReadTimeout) for the next request on the same connection, so a
+// gateway pools connections instead of paying a dial per inference.
+// One gob encoder/decoder pair spans the connection — gob streams carry
+// type definitions once, so per-message codecs would desynchronize a
+// pooled peer. Single-shot clients simply close after the first
+// response and the handler exits on the EOF.
 func (s *Server) handle(conn net.Conn) {
-	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	lr := &io.LimitedReader{R: conn, N: s.cfg.MaxRequestBytes}
-	var req WireRequest
-	if err := gob.NewDecoder(lr).Decode(&req); err != nil {
-		msg := fmt.Sprintf("decode: %v", err)
-		if lr.N <= 0 {
-			// The decoder ran the limit dry: distinguish an oversized (or
-			// unterminated) frame from a merely malformed one so clients
-			// know not to retry the same payload.
-			msg = fmt.Sprintf("request exceeds size cap (%d bytes)", s.cfg.MaxRequestBytes)
+	lr := &io.LimitedReader{R: conn}
+	dec := gob.NewDecoder(lr)
+	enc := gob.NewEncoder(conn)
+	for served := 0; ; served++ {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		lr.N = s.cfg.MaxRequestBytes
+		var req WireRequest
+		if err := dec.Decode(&req); err != nil {
+			if served > 0 {
+				// The peer finished with the connection (clean close or
+				// idle timeout on a pooled conn); nothing to answer.
+				return
+			}
+			msg := fmt.Sprintf("decode: %v", err)
+			if lr.N <= 0 {
+				// The decoder ran the limit dry: distinguish an oversized (or
+				// unterminated) frame from a merely malformed one so clients
+				// know not to retry the same payload.
+				msg = fmt.Sprintf("request exceeds size cap (%d bytes)", s.cfg.MaxRequestBytes)
+			}
+			s.respond(conn, enc, &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: msg})
+			return
 		}
-		s.respond(conn, &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: msg})
-		return
+		if !s.respond(conn, enc, s.Handle(req)) {
+			return
+		}
 	}
-	s.respond(conn, s.Handle(req))
 }
 
-func (s *Server) respond(conn net.Conn, resp *WireResponse) {
+func (s *Server) respond(conn net.Conn, enc *gob.Encoder, resp *WireResponse) bool {
 	_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
-	_ = gob.NewEncoder(conn).Encode(resp)
+	return enc.Encode(resp) == nil
 }
 
 // Handle executes one wire request against the serving pipeline —
@@ -121,6 +180,28 @@ func (s *Server) Handle(req WireRequest) *WireResponse {
 	if req.Version > cloud.ProtocolVersion {
 		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
 			Err: fmt.Sprintf("protocol version %d not supported (server speaks ≤ %d)", req.Version, cloud.ProtocolVersion)}
+	}
+	switch req.Op {
+	case OpInfer:
+	case OpStats:
+		st := s.Stats()
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK, Stats: &st}
+	case OpHealth:
+		if s.isDraining() {
+			return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy, Err: "server draining"}
+		}
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK}
+	default:
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("unknown op %d", req.Op)}
+	}
+	if req.RouteKey != "" {
+		if check := s.ownerCheckFn(); check != nil {
+			if code := check(req.RouteKey, req.RingVersion); code != cloud.CodeOK {
+				return &WireResponse{Version: cloud.ProtocolVersion, Code: code,
+					Err: fmt.Sprintf("route key %s rejected: %s", req.RouteKey, code)}
+			}
+		}
 	}
 	v := s.cfg.Variant
 	switch req.Variant {
@@ -185,6 +266,33 @@ func NewClient(addr string) *Client {
 // *Error values: transport faults map to CodeInternal (retryable),
 // server-reported outcomes keep their code.
 func (c *Client) Infer(req WireRequest) (*WireResponse, error) {
+	req.Op = OpInfer
+	return c.do(req)
+}
+
+// Stats scrapes the remote server's Stats snapshot over the wire — the
+// same numbers the SIGINT dump prints, available to dashboards while
+// the server runs.
+func (c *Client) Stats() (Stats, error) {
+	resp, err := c.do(WireRequest{Op: OpStats})
+	if err != nil {
+		return Stats{}, err
+	}
+	if resp.Stats == nil {
+		return Stats{}, &Error{Code: cloud.CodeInternal, Err: errors.New("stats response carried no snapshot")}
+	}
+	return *resp.Stats, nil
+}
+
+// Health probes the server: nil when it is accepting work, a typed
+// *Error (CodeBusy while draining, CodeInternal for transport faults)
+// otherwise.
+func (c *Client) Health() error {
+	_, err := c.do(WireRequest{Op: OpHealth})
+	return err
+}
+
+func (c *Client) do(req WireRequest) (*WireResponse, error) {
 	req.Version = cloud.ProtocolVersion
 	conn, err := net.DialTimeout("tcp", c.Addr, c.DialTimeout)
 	if err != nil {

@@ -231,6 +231,11 @@ type Server struct {
 	// breaker guards the repersonalization path taken by ε-guard heals.
 	breaker *breaker
 
+	// ownerCheck, when installed, judges gateway-routed requests'
+	// placement metadata (RouteKey, RingVersion) before serving them.
+	ownerMu    sync.RWMutex
+	ownerCheck func(routeKey string, ringVersion uint64) cloud.Code
+
 	// hookPersonalize, when set by tests, observes every System.Prune
 	// execution (not cache hits or singleflight joins). hookHealed
 	// observes each heal publishing a repersonalized entry.
@@ -270,6 +275,26 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
 	}
+}
+
+// SetOwnerCheck installs (or, with nil, removes) the placement check a
+// cluster supervisor uses to fence misrouted traffic: every wire
+// request carrying a RouteKey is judged before serving, and a non-OK
+// code (cloud.CodeWrongOwner when this node does not own the key,
+// cloud.CodeRingChanged when the stamped ring version is stale) is
+// returned to the gateway, which re-routes on its current ring.
+// Requests without routing metadata — direct clients — are never
+// fenced.
+func (s *Server) SetOwnerCheck(check func(routeKey string, ringVersion uint64) cloud.Code) {
+	s.ownerMu.Lock()
+	s.ownerCheck = check
+	s.ownerMu.Unlock()
+}
+
+func (s *Server) ownerCheckFn() func(string, uint64) cloud.Code {
+	s.ownerMu.RLock()
+	defer s.ownerMu.RUnlock()
+	return s.ownerCheck
 }
 
 // Stats snapshots the serving metrics.

@@ -53,9 +53,27 @@ type Stats struct {
 	BreakerOpens, BreakerCloses, BreakerHalfOpens uint64
 
 	// Checkpointing: the last committed generation (0 = never) and its
-	// age at snapshot time.
+	// age at snapshot time. CheckpointErrors counts failed checkpoint
+	// attempts and LastCheckpointError describes the most recent one
+	// (cleared by the next successful commit) — a checkpoint that
+	// silently stops committing is a durability outage, so the failure
+	// is surfaced here, not only in the server log.
 	CheckpointGeneration int
 	CheckpointAge        time.Duration
+	CheckpointErrors     uint64
+	LastCheckpointError  string
+}
+
+// HitRatio is the mask-cache hit fraction over all completed lookups
+// (0 when the cache was never consulted). Scraped remotely via OpStats,
+// it is the first-order signal for sizing CacheCap and for judging how
+// well a gateway's consistent-hash routing preserves cache locality.
+func (s Stats) HitRatio() float64 {
+	total := s.CacheHits + s.CacheMisses + s.SingleflightShared
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // MeanBatch is the average flushed group size.
@@ -88,8 +106,8 @@ func meanNs(total int64, n uint64) time.Duration {
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests=%d completed=%d shed=%d queue=%d\n", s.Requests, s.Completed, s.Shed, s.QueueDepth)
-	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d\n",
-		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries)
+	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d hit-ratio=%.3f\n",
+		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries, s.HitRatio())
 	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
 	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v\n",
 		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward())
@@ -98,9 +116,12 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "breaker: state=%s opens=%d closes=%d half-opens=%d\n",
 		s.BreakerState, s.BreakerOpens, s.BreakerCloses, s.BreakerHalfOpens)
 	if s.CheckpointGeneration > 0 {
-		fmt.Fprintf(&b, "checkpoint: generation=%d age=%v", s.CheckpointGeneration, s.CheckpointAge.Round(time.Millisecond))
+		fmt.Fprintf(&b, "checkpoint: generation=%d age=%v errors=%d", s.CheckpointGeneration, s.CheckpointAge.Round(time.Millisecond), s.CheckpointErrors)
 	} else {
-		fmt.Fprintf(&b, "checkpoint: none")
+		fmt.Fprintf(&b, "checkpoint: none (errors=%d)", s.CheckpointErrors)
+	}
+	if s.LastCheckpointError != "" {
+		fmt.Fprintf(&b, " last-error=%q", s.LastCheckpointError)
 	}
 	return b.String()
 }
@@ -184,11 +205,21 @@ func (st *stats) fallbackServed() { st.add(func(s *Stats) { s.FallbackServed++ }
 func (st *stats) healed()         { st.add(func(s *Stats) { s.Heals++ }) }
 func (st *stats) healFailed()     { st.add(func(s *Stats) { s.HealFailures++ }) }
 
-// noteCheckpoint records a committed checkpoint generation.
+// noteCheckpoint records a committed checkpoint generation; a success
+// clears the sticky last-error so the gauge reflects current health.
 func (st *stats) noteCheckpoint(gen int) {
 	st.mu.Lock()
 	st.s.CheckpointGeneration = gen
+	st.s.LastCheckpointError = ""
 	st.checkpointAt = time.Now()
+	st.mu.Unlock()
+}
+
+// noteCheckpointError records a failed checkpoint attempt.
+func (st *stats) noteCheckpointError(err error) {
+	st.mu.Lock()
+	st.s.CheckpointErrors++
+	st.s.LastCheckpointError = err.Error()
 	st.mu.Unlock()
 }
 

@@ -25,6 +25,10 @@ const (
 	// ArtifactTrainMeta is training progress (TrainMeta), present only
 	// in mid-training checkpoints.
 	ArtifactTrainMeta = "trainmeta"
+	// ArtifactRingConfig is the cluster gateway's ring configuration
+	// (RingConfig), committed on every membership change so a restarted
+	// gateway resumes routing with the same placement.
+	ArtifactRingConfig = "ringconfig"
 )
 
 // TrainMeta records how far training had progressed when a checkpoint
@@ -93,6 +97,36 @@ func (g *Generation) Rates() (*firing.Rates, error) {
 		return nil, err
 	}
 	return &r, nil
+}
+
+// RingConfig is the durable form of a cluster gateway's consistent-hash
+// ring: everything needed to rebuild bit-identical placement after a
+// restart. Placement is a pure function of (Seed, VirtualNodes, Nodes),
+// so persisting these three pins every key to the same serve node
+// across gateway restarts — mask caches on the shards stay warm.
+type RingConfig struct {
+	// Seed salts the ring's hash function.
+	Seed int64
+	// VirtualNodes is the number of ring points per member.
+	VirtualNodes int
+	// Replication is how many distinct owners each key has.
+	Replication int
+	// Version is the ring version at commit time; a restarted gateway
+	// resumes numbering from here so version comparisons against
+	// long-lived peers stay monotonic.
+	Version uint64
+	// Nodes are the member serve-node addresses.
+	Nodes []string
+}
+
+// PutRingConfig stages the gateway ring configuration.
+func (t *Txn) PutRingConfig(rc RingConfig) error { return t.PutGob(ArtifactRingConfig, rc) }
+
+// RingConfig loads the gateway ring configuration artifact.
+func (g *Generation) RingConfig() (RingConfig, error) {
+	var rc RingConfig
+	err := g.Gob(ArtifactRingConfig, &rc)
+	return rc, err
 }
 
 // PutTrainMeta stages training progress metadata.

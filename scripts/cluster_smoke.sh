@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Multi-node cluster integration test: start 3 capnn-serve shards (one
+# with transport chaos) behind a capnn-gateway, drive concurrent
+# multi-user load through the gateway with one-shot clients, kill -9 a
+# shard mid-load, and assert
+#   (a) zero client-visible request failures (the gateway fails the
+#       dead shard's keys over to their ring replicas),
+#   (b) the gateway actually recorded failovers and opened the dead
+#       shard's breaker (visible via a remote stats scrape).
+# Binaries are built -race so the run doubles as a data-race hunt
+# across the serve + cluster hot paths (disable with RACE=0).
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+WORKDIR="${1:-$(mktemp -d)}"
+MODEL="${MODEL:-cifar10}"
+REQUESTS="${REQUESTS:-300}"
+RACE="${RACE:-1}"
+BUILDFLAGS=()
+if [ "$RACE" = "1" ]; then
+    BUILDFLAGS+=(-race)
+fi
+
+echo "cluster_smoke: workdir $WORKDIR (race=$RACE)"
+go build "${BUILDFLAGS[@]}" -o "$WORKDIR/capnn-serve" ./cmd/capnn-serve
+go build "${BUILDFLAGS[@]}" -o "$WORKDIR/capnn-gateway" ./cmd/capnn-gateway
+go build "${BUILDFLAGS[@]}" -o "$WORKDIR/capnn-loadgen" ./cmd/capnn-loadgen
+
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# wait_addr LOG: poll a server log for its bound address ("on HOST:PORT (").
+wait_addr() {
+    local log="$1" addr=""
+    for _ in $(seq 300); do
+        addr=$(sed -n 's/.* on \([0-9.:]*\) (Ctrl-C to stop).*/\1/p' "$log" 2>/dev/null | head -1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "cluster_smoke: FAIL: no bound address in $log" >&2
+    return 1
+}
+
+echo "cluster_smoke: phase 1 — start 3 serve shards (shard 1 with chaos) + gateway"
+NODE_ADDRS=()
+NODE_PIDS=()
+for i in 0 1 2; do
+    CHAOS=""
+    if [ "$i" = "1" ]; then
+        # Mild transport chaos on one shard: dropped/latency-injured
+        # backend connections must be absorbed by gateway retries.
+        CHAOS="seed=7,drop=0.05,latency=5ms"
+    fi
+    "$WORKDIR/capnn-serve" -addr 127.0.0.1:0 -model "$MODEL" -no-guard \
+        ${CHAOS:+-chaos "$CHAOS"} >"$WORKDIR/serve$i.log" 2>&1 &
+    NODE_PIDS+=($!)
+    PIDS+=($!)
+done
+for i in 0 1 2; do
+    NODE_ADDRS+=("$(wait_addr "$WORKDIR/serve$i.log")")
+    echo "cluster_smoke: shard $i at ${NODE_ADDRS[$i]} (pid ${NODE_PIDS[$i]})"
+done
+
+# Race-built binaries run personalization 10-20× slower (a cold prune
+# is seconds, not hundreds of ms), and a shard kill forces cold prunes
+# on the dead shard's replicas — so the failover budget must be sized
+# for the instrumented build, not production defaults.
+"$WORKDIR/capnn-gateway" -addr 127.0.0.1:0 \
+    -nodes "$(IFS=,; echo "${NODE_ADDRS[*]}")" \
+    -probe-every 250ms -probe-timeout 1s -fail-threshold 2 -cooldown 2s \
+    -request-timeout 120s -attempt-timeout 60s \
+    >"$WORKDIR/gateway.log" 2>&1 &
+GW_PID=$!
+PIDS+=("$GW_PID")
+GW_ADDR=$(wait_addr "$WORKDIR/gateway.log")
+echo "cluster_smoke: gateway at $GW_ADDR (pid $GW_PID)"
+
+echo "cluster_smoke: phase 2 — warm every user's primary shard"
+"$WORKDIR/capnn-loadgen" -addr "$GW_ADDR" -model "$MODEL" -n 16 -users 8 \
+    -concurrency 8 -timeout 150s -progress-every 0 >"$WORKDIR/warm.log" 2>&1 || {
+    sed 's/^/  warm| /' "$WORKDIR/warm.log" | tail -5
+    echo "cluster_smoke: FAIL: warm-up requests failed"; exit 1; }
+
+echo "cluster_smoke: phase 3 — drive $REQUESTS requests, kill -9 shard 2 mid-load"
+"$WORKDIR/capnn-loadgen" -addr "$GW_ADDR" -model "$MODEL" -n "$REQUESTS" \
+    -users 8 -concurrency 8 -timeout 150s -progress-every 25 >"$WORKDIR/load.log" 2>&1 &
+LOAD_PID=$!
+PIDS+=("$LOAD_PID")
+# Kill once the load is demonstrably mid-flight (~1/3 through).
+THIRD=$((REQUESTS / 3))
+for _ in $(seq 600); do
+    if ! kill -0 "$LOAD_PID" 2>/dev/null; then
+        break
+    fi
+    DONE=$(sed -n 's/.*progress \([0-9]*\)\/.*/\1/p' "$WORKDIR/load.log" 2>/dev/null | tail -1)
+    if [ -n "${DONE:-}" ] && [ "$DONE" -ge "$THIRD" ]; then
+        break
+    fi
+    sleep 0.2
+done
+kill -9 "${NODE_PIDS[2]}" 2>/dev/null || true
+echo "cluster_smoke: killed shard 2 (pid ${NODE_PIDS[2]}) mid-load"
+
+if ! wait "$LOAD_PID"; then
+    sed 's/^/  load| /' "$WORKDIR/load.log" | tail -8
+    echo "cluster_smoke: FAIL: client-visible failures after shard kill"
+    exit 1
+fi
+sed 's/^/  load| /' "$WORKDIR/load.log" | tail -3
+grep -q ", 0 failed" "$WORKDIR/load.log" || {
+    echo "cluster_smoke: FAIL: loadgen reported failures"; exit 1; }
+
+echo "cluster_smoke: phase 4 — scrape gateway stats, expect failovers and an open breaker"
+"$WORKDIR/capnn-loadgen" -addr "$GW_ADDR" -scrape >"$WORKDIR/stats.log" 2>&1
+sed 's/^/  stats| /' "$WORKDIR/stats.log"
+grep -Eq "failovers=[1-9]" "$WORKDIR/stats.log" || {
+    echo "cluster_smoke: FAIL: gateway recorded no failovers after a shard died"; exit 1; }
+grep -q "state=open" "$WORKDIR/stats.log" || {
+    echo "cluster_smoke: FAIL: dead shard's breaker never opened"; exit 1; }
+
+# The race-built binaries must not have tripped the detector anywhere.
+if [ "$RACE" = "1" ] && grep -l "WARNING: DATA RACE" "$WORKDIR"/*.log >/dev/null 2>&1; then
+    grep -A 20 "WARNING: DATA RACE" "$WORKDIR"/*.log | head -40
+    echo "cluster_smoke: FAIL: data race detected"
+    exit 1
+fi
+
+echo "cluster_smoke: PASS"
