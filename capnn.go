@@ -43,6 +43,7 @@ import (
 	"capnn/internal/hw"
 	"capnn/internal/nn"
 	"capnn/internal/parallel"
+	"capnn/internal/qos"
 	"capnn/internal/serve"
 	"capnn/internal/store"
 	"capnn/internal/train"
@@ -357,6 +358,32 @@ func NewServeClient(addr string) *ServeClient { return serve.NewClient(addr) }
 
 // DefaultServeConfig returns the production serving defaults.
 func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// ServeQoS is a request's quality-of-service envelope: deadline,
+// priority lane, and tenant. The zero value (no deadline, interactive
+// lane, default tenant) reproduces pre-QoS behavior.
+type ServeQoS = serve.QoS
+
+// Lane is a request's priority class: interactive traffic is served
+// first and may use the full queue; bulk traffic yields under pressure.
+type Lane = qos.Lane
+
+// The two priority lanes.
+const (
+	LaneInteractive = qos.LaneInteractive
+	LaneBulk        = qos.LaneBulk
+)
+
+// QuotaLimit is one token bucket's shape (rate/s, burst); QuotaLimits a
+// tenant's per-lane pair; AdmissionConfig the gateway's full quota set.
+type (
+	QuotaLimit      = qos.Limit
+	QuotaLimits     = qos.LaneLimits
+	AdmissionConfig = qos.LimiterConfig
+)
+
+// ParseQuotaLimit parses "rate[:burst]" quota flag syntax.
+func ParseQuotaLimit(s string) (QuotaLimit, error) { return qos.ParseLimit(s) }
 
 // BreakerState is the repersonalization circuit breaker's state
 // (closed / open / half-open), reported in ServeStats.

@@ -13,6 +13,14 @@
 // every -probe-every (closed/open/half-open breaker), and answers
 // OpStats scrapes with its own routing metrics.
 //
+// Multi-tenant admission control runs ahead of routing: -quota-bulk /
+// -quota-interactive set default per-tenant token-bucket rates
+// (requests/s, "rate[:burst]"), -quota-tenant overrides one tenant, and
+// a request whose bucket is empty is shed with the retryable over-quota
+// code before it costs any shard work:
+//
+//	capnn-gateway -quota-bulk 50:100 -quota-tenant "batch=unlimited,10:20" ...
+//
 // With -state the gateway persists its ring configuration (seed,
 // virtual nodes, members, version) into the same crash-safe store the
 // serving tier uses, so a restarted gateway places every key exactly
@@ -38,8 +46,50 @@ import (
 
 	"capnn/internal/cluster"
 	"capnn/internal/faults"
+	"capnn/internal/qos"
 	"capnn/internal/store"
 )
+
+// tenantQuotaFlags collects repeated -quota-tenant occurrences.
+type tenantQuotaFlags []string
+
+func (f *tenantQuotaFlags) String() string { return strings.Join(*f, " ") }
+func (f *tenantQuotaFlags) Set(s string) error {
+	*f = append(*f, s)
+	return nil
+}
+
+// buildAdmission assembles the gateway's token-bucket quota set from the
+// flag syntax: default lane limits plus name=interactive,bulk overrides.
+func buildAdmission(interactive, bulk string, tenants tenantQuotaFlags) (qos.LimiterConfig, error) {
+	var cfg qos.LimiterConfig
+	var err error
+	if cfg.Default.Interactive, err = qos.ParseLimit(interactive); err != nil {
+		return cfg, fmt.Errorf("-quota-interactive: %v", err)
+	}
+	if cfg.Default.Bulk, err = qos.ParseLimit(bulk); err != nil {
+		return cfg, fmt.Errorf("-quota-bulk: %v", err)
+	}
+	for _, spec := range tenants {
+		name, limits, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			return cfg, fmt.Errorf("-quota-tenant %q: want name=interactive,bulk", spec)
+		}
+		iSpec, bSpec, _ := strings.Cut(limits, ",")
+		var ll qos.LaneLimits
+		if ll.Interactive, err = qos.ParseLimit(iSpec); err != nil {
+			return cfg, fmt.Errorf("-quota-tenant %q: %v", spec, err)
+		}
+		if ll.Bulk, err = qos.ParseLimit(bSpec); err != nil {
+			return cfg, fmt.Errorf("-quota-tenant %q: %v", spec, err)
+		}
+		if cfg.Tenants == nil {
+			cfg.Tenants = map[string]qos.LaneLimits{}
+		}
+		cfg.Tenants[name] = ll
+	}
+	return cfg, nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7878", "listen address")
@@ -57,6 +107,10 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
 	stateDir := flag.String("state", "", "ring-config store directory: restore placement from the latest good generation and persist membership changes (empty = stateless)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight connections at shutdown")
+	quotaInteractive := flag.String("quota-interactive", "", "default per-tenant interactive-lane quota as rate[:burst] requests/s (empty = unlimited)")
+	quotaBulk := flag.String("quota-bulk", "", "default per-tenant bulk-lane quota as rate[:burst] requests/s (empty = unlimited)")
+	var tenantQuotas tenantQuotaFlags
+	flag.Var(&tenantQuotas, "quota-tenant", "per-tenant quota override as name=interactive,bulk (each a rate[:burst] or 'unlimited'); repeatable")
 	flag.Parse()
 
 	var nodes []string
@@ -75,6 +129,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	admission, err := buildAdmission(*quotaInteractive, *quotaBulk, tenantQuotas)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "capnn-gateway: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := cluster.Config{
 		Seed:           *seed,
 		VirtualNodes:   *vnodes,
@@ -85,6 +145,7 @@ func main() {
 		Cooldown:       *cooldown,
 		RequestTimeout: *reqTimeout,
 		AttemptTimeout: *attemptTimeout,
+		Admission:      admission,
 	}
 	g, err := cluster.NewGateway(nodes, cfg)
 	if err != nil {

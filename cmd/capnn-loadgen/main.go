@@ -10,23 +10,111 @@
 //
 //	capnn-loadgen -addr 127.0.0.1:7878 -model cifar10 -users 8 -n 300
 //
+// QoS scenarios mix lanes and tenants: -bulk-frac sends that fraction
+// of the traffic on the bulk lane (under -bulk-tenant with
+// -bulk-budget), the rest stays interactive (-tenant, -budget), and the
+// report breaks out per-lane p50/p95/p99 plus shed counts by reason.
+// Typed QoS sheds — over-quota and expired — are the protocol working
+// as designed (bulk yielding, deadlines enforced), so they count as
+// sheds, not failures; only transport errors and untyped non-OK answers
+// flip the exit code:
+//
+//	capnn-loadgen -bulk-frac 0.8 -bulk-tenant batch -budget 250ms -n 2000
+//
 // With -scrape it instead fetches and prints a gateway's routing stats
-// (ring version, failovers, per-node breaker states) and exits.
+// (ring version, failovers, per-tenant admission, per-node breaker
+// states) and exits.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"capnn/internal/cloud"
 	"capnn/internal/cluster"
 	"capnn/internal/exp"
+	"capnn/internal/qos"
 	"capnn/internal/serve"
 )
+
+// laneReport accumulates one lane's client-side view of the run.
+type laneReport struct {
+	mu        sync.Mutex
+	sent, ok  uint64
+	overQuota uint64 // CodeOverQuota sheds
+	expired   uint64 // CodeExpired sheds
+	failed    uint64 // transport errors and untyped non-OK answers
+	lats      []time.Duration
+}
+
+func (r *laneReport) record(lat time.Duration, resp *serve.WireResponse, err error) (hardFail bool, msg string) {
+	// The client wraps every non-OK server answer as a typed
+	// *serve.Error; unwrap it so QoS sheds classify by code rather than
+	// all landing in the transport-failure bucket.
+	code := cloud.CodeOK
+	if err != nil {
+		code = cloud.CodeInternal
+		msg = err.Error()
+		var se *serve.Error
+		if errors.As(err, &se) {
+			code = se.Code
+		}
+	} else if resp != nil {
+		code = resp.Code
+		msg = fmt.Sprintf("[%s] %s", resp.Code, resp.Err)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sent++
+	switch code {
+	case cloud.CodeOK:
+		r.ok++
+		r.lats = append(r.lats, lat)
+		return false, ""
+	case cloud.CodeOverQuota:
+		r.overQuota++
+		return false, ""
+	case cloud.CodeExpired:
+		r.expired++
+		return false, ""
+	default:
+		r.failed++
+		return true, msg
+	}
+}
+
+// percentile reports the p-th percentile over sorted latencies
+// (nearest-rank); zero with no samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (r *laneReport) summary(lane qos.Lane) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	shed := r.overQuota + r.expired
+	return fmt.Sprintf("capnn-loadgen: lane %s: sent=%d ok=%d shed=%d (over-quota=%d expired=%d) failed=%d p50=%v p95=%v p99=%v",
+		lane, r.sent, r.ok, shed, r.overQuota, r.expired, r.failed,
+		percentile(r.lats, 0.50).Round(time.Microsecond),
+		percentile(r.lats, 0.95).Round(time.Microsecond),
+		percentile(r.lats, 0.99).Round(time.Microsecond))
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7878", "gateway or serve address")
@@ -38,6 +126,11 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	progressEvery := flag.Int("progress-every", 50, "print a progress line every N completed requests")
 	scrape := flag.Bool("scrape", false, "fetch and print the target gateway's routing stats, then exit")
+	tenant := flag.String("tenant", "", "tenant for interactive traffic (empty = default)")
+	budget := flag.Duration("budget", 0, "per-request deadline budget for interactive traffic (0 = none)")
+	bulkFrac := flag.Float64("bulk-frac", 0, "fraction of requests sent on the bulk lane [0,1]")
+	bulkTenant := flag.String("bulk-tenant", "", "tenant for bulk traffic (empty = same as -tenant)")
+	bulkBudget := flag.Duration("bulk-budget", 0, "per-request deadline budget for bulk traffic (0 = none)")
 	flag.Parse()
 
 	if *scrape {
@@ -48,6 +141,10 @@ func main() {
 		}
 		fmt.Printf("capnn-loadgen: gateway stats:\n%s\n", st)
 		return
+	}
+	if *bulkFrac < 0 || *bulkFrac > 1 {
+		fmt.Fprintln(os.Stderr, "capnn-loadgen: -bulk-frac must be in [0,1]")
+		os.Exit(2)
 	}
 
 	var cfg exp.FixtureConfig
@@ -73,15 +170,27 @@ func main() {
 			Version: cloud.ProtocolVersion,
 			Variant: *variant,
 			Classes: []int{u % classes, (u + 1) % classes},
-			Weights: []float64{1, 1 + float64(u / classes)},
+			Weights: []float64{1, 1 + float64(u/classes)},
 			Input:   x.Data(),
 		}
 	}
 
-	var sent, ok, failed atomic.Uint64
-	var failMu sync.Mutex
+	// Deterministic lane interleave: request index i is bulk when its
+	// position crosses the next multiple of bulkFrac — no RNG, so two
+	// runs of the same flags send the same mix.
+	isBulk := func(i int) bool {
+		if *bulkFrac <= 0 {
+			return false
+		}
+		return int(float64(i)**bulkFrac) != int(float64(i+1)**bulkFrac)
+	}
+
+	reports := [2]*laneReport{{}, {}} // indexed by qos.Lane
+	var sentTotal uint64
+	var totalMu sync.Mutex
 	firstFail := ""
 	var wg sync.WaitGroup
+	next := 0
 	for w := 0; w < *concurrency; w++ {
 		share := *n / *concurrency
 		if w < *n%*concurrency {
@@ -90,41 +199,60 @@ func main() {
 		if share == 0 {
 			continue
 		}
+		base := next
+		next += share
 		wg.Add(1)
-		go func(w, share int) {
+		go func(w, base, share int) {
 			defer wg.Done()
 			c := serve.NewClient(*addr)
 			c.RequestTimeout = *timeout
 			for i := 0; i < share; i++ {
-				resp, err := c.Infer(reqs[(w+i)%len(reqs)])
-				switch {
-				case err != nil:
-					failed.Add(1)
-					noteFail(&failMu, &firstFail, err.Error())
-				case resp.Code != cloud.CodeOK:
-					failed.Add(1)
-					noteFail(&failMu, &firstFail, fmt.Sprintf("[%s] %s", resp.Code, resp.Err))
-				default:
-					ok.Add(1)
+				idx := base + i
+				req := reqs[idx%len(reqs)]
+				lane := qos.LaneInteractive
+				req.Tenant = *tenant
+				if *budget > 0 {
+					req.BudgetMicros = budget.Microseconds()
 				}
-				if s := sent.Add(1); *progressEvery > 0 && s%uint64(*progressEvery) == 0 {
+				if isBulk(idx) {
+					lane = qos.LaneBulk
+					req.Lane = int(qos.LaneBulk)
+					if *bulkTenant != "" {
+						req.Tenant = *bulkTenant
+					}
+					req.BudgetMicros = 0
+					if *bulkBudget > 0 {
+						req.BudgetMicros = bulkBudget.Microseconds()
+					}
+				}
+				start := time.Now()
+				resp, err := c.Infer(req)
+				hardFail, msg := reports[lane].record(time.Since(start), resp, err)
+				totalMu.Lock()
+				sentTotal++
+				s := sentTotal
+				if hardFail && firstFail == "" {
+					firstFail = msg
+				}
+				totalMu.Unlock()
+				if *progressEvery > 0 && s%uint64(*progressEvery) == 0 {
 					fmt.Printf("capnn-loadgen: progress %d/%d\n", s, *n)
 				}
 			}
-		}(w, share)
+		}(w, base, share)
 	}
 	wg.Wait()
-	fmt.Printf("capnn-loadgen: %d requests, %d ok, %d failed\n", sent.Load(), ok.Load(), failed.Load())
-	if failed.Load() > 0 {
+
+	okTotal := reports[0].ok + reports[1].ok
+	failedTotal := reports[0].failed + reports[1].failed
+	for lane, r := range reports {
+		if r.sent > 0 {
+			fmt.Println(r.summary(qos.Lane(lane)))
+		}
+	}
+	fmt.Printf("capnn-loadgen: %d requests, %d ok, %d failed\n", sentTotal, okTotal, failedTotal)
+	if failedTotal > 0 {
 		fmt.Fprintf(os.Stderr, "capnn-loadgen: first failure: %s\n", firstFail)
 		os.Exit(1)
 	}
-}
-
-func noteFail(mu *sync.Mutex, first *string, msg string) {
-	mu.Lock()
-	if *first == "" {
-		*first = msg
-	}
-	mu.Unlock()
 }

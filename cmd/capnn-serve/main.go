@@ -54,6 +54,9 @@ func main() {
 	workers := flag.Int("workers", 0, "flush worker pool size (0 = GOMAXPROCS)")
 	cacheCap := flag.Int("cache-cap", 256, "mask cache capacity (distinct personalizations held)")
 	maxQueue := flag.Int("max-queue", 1024, "admitted requests in flight before shedding with busy")
+	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "server-side cap on one request's queue+serve time; a client deadline budget tightens it, never extends it")
+	edfSlack := flag.Duration("edf-slack", 500*time.Microsecond, "safety pad under each request's deadline when scheduling its EDF flush")
+	bulkFrac := flag.Float64("bulk-queue-fraction", 0.5, "fraction of max-queue the bulk lane may fill before shedding over-quota (interactive keeps the rest)")
 	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms")
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
 	stateDir := flag.String("state", "", "checkpoint store directory: warm-start the mask cache from the latest good generation and checkpoint periodically (empty = stateless)")
@@ -107,16 +110,19 @@ func main() {
 		}
 	}
 	srv := serve.NewServerWith(fx.Sys, serve.Config{
-		Variant:          v,
-		MaxBatch:         *maxBatch,
-		MaxWait:          *maxWait,
-		Workers:          *workers,
-		CacheCap:         *cacheCap,
-		MaxQueue:         *maxQueue,
-		DisableGuard:     *noGuard,
-		GuardSampleEvery: *guardEvery,
-		GuardWindow:      *guardWindow,
-		GuardSlack:       *guardSlack,
+		Variant:           v,
+		MaxBatch:          *maxBatch,
+		MaxWait:           *maxWait,
+		Workers:           *workers,
+		CacheCap:          *cacheCap,
+		MaxQueue:          *maxQueue,
+		RequestTimeout:    *reqTimeout,
+		EDFSlack:          *edfSlack,
+		BulkQueueFraction: *bulkFrac,
+		DisableGuard:      *noGuard,
+		GuardSampleEvery:  *guardEvery,
+		GuardWindow:       *guardWindow,
+		GuardSlack:        *guardSlack,
 	})
 
 	var st *store.Store

@@ -1,0 +1,44 @@
+package cloud
+
+import "testing"
+
+// TestCodeRetryability pins the retry contract every layer above leans
+// on: transient conditions (busy, internal faults, misrouting that a
+// fresh ring fixes, over-quota that a refilled bucket fixes) invite a
+// retry with backoff, while permanent outcomes (bad request, expired
+// deadline) must not — retrying an expired request spends capacity on
+// an answer nobody is waiting for.
+func TestCodeRetryability(t *testing.T) {
+	retryable := []Code{CodeBusy, CodeInternal, CodeWrongOwner, CodeRingChanged, CodeOverQuota}
+	permanent := []Code{CodeOK, CodeBadRequest, CodeExpired}
+	for _, c := range retryable {
+		if !c.Retryable() {
+			t.Errorf("%s must be retryable", c)
+		}
+	}
+	for _, c := range permanent {
+		if c.Retryable() {
+			t.Errorf("%s must not be retryable", c)
+		}
+	}
+}
+
+// Every code renders a stable name — these strings appear in logs,
+// loadgen summaries, and smoke-test greps.
+func TestCodeStrings(t *testing.T) {
+	want := map[Code]string{
+		CodeOK:          "ok",
+		CodeBadRequest:  "bad-request",
+		CodeBusy:        "busy",
+		CodeInternal:    "internal",
+		CodeWrongOwner:  "wrong-owner",
+		CodeRingChanged: "ring-changed",
+		CodeOverQuota:   "over-quota",
+		CodeExpired:     "expired",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("Code(%d).String() = %q, want %q", c, c, name)
+		}
+	}
+}

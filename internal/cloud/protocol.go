@@ -17,7 +17,11 @@ import "hash/crc32"
 // ProtocolVersion is the current wire protocol version. Servers accept
 // requests at or below their own version; clients stamp every request.
 // Version 0 is the unversioned seed protocol and remains accepted.
-const ProtocolVersion = 1
+// Version 2 added the serving tier's QoS fields (per-request deadline
+// budget, tenant, priority lane); frames without them decode as
+// deadline-less default-tenant interactive traffic, so every older
+// client keeps working unchanged.
+const ProtocolVersion = 2
 
 // Code classifies a response outcome so clients can decide whether a
 // retry can help.
@@ -48,13 +52,29 @@ const (
 	// the request was in flight. Like CodeWrongOwner it is resolved by
 	// re-routing on a fresh ring, not by retrying the same node.
 	CodeRingChanged
+	// CodeOverQuota means admission control shed the request because its
+	// tenant exhausted its token-bucket quota or its priority lane is
+	// saturated. The bucket refills over time, so retrying after a
+	// backoff is expected to succeed — unlike CodeBusy it signals a
+	// per-tenant limit, not server-wide load.
+	CodeOverQuota
+	// CodeExpired means the request's propagated deadline passed before
+	// it could be served (shed at admission, in the batch queue, or
+	// during gateway failover). The budget is gone: retrying the same
+	// request cannot meet a deadline that has already elapsed, so the
+	// code is permanent — callers must issue a fresh request with a
+	// fresh budget if the answer still matters.
+	CodeExpired
 )
 
 // Retryable reports whether a client may reasonably retry after this
 // code. The routing codes are retryable in the sense that the same
-// request re-routed on a current ring is expected to succeed.
+// request re-routed on a current ring is expected to succeed;
+// over-quota is retryable after a backoff long enough for the tenant's
+// bucket to refill. Expired is not: the deadline the client asked for
+// has passed, and no retry can rewind it.
 func (c Code) Retryable() bool {
-	return c == CodeBusy || c == CodeInternal || c == CodeWrongOwner || c == CodeRingChanged
+	return c == CodeBusy || c == CodeInternal || c == CodeWrongOwner || c == CodeRingChanged || c == CodeOverQuota
 }
 
 // String names the code for errors and logs.
@@ -72,6 +92,10 @@ func (c Code) String() string {
 		return "wrong-owner"
 	case CodeRingChanged:
 		return "ring-changed"
+	case CodeOverQuota:
+		return "over-quota"
+	case CodeExpired:
+		return "expired"
 	default:
 		return "unknown"
 	}

@@ -14,6 +14,7 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/core"
+	"capnn/internal/qos"
 	"capnn/internal/serve"
 	"capnn/internal/store"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// Defaults 30s / 30s / 1MiB.
 	ReadTimeout, WriteTimeout time.Duration
 	MaxRequestBytes           int64
+
+	// Admission is the multi-tenant token-bucket quota set enforced
+	// before routing: a request whose (tenant, lane) bucket is empty is
+	// shed with CodeOverQuota and never reaches a shard. The zero value
+	// is unlimited everywhere — admission control off.
+	Admission qos.LimiterConfig
 }
 
 // DefaultConfig returns the production defaults.
@@ -142,8 +149,9 @@ type nodeState struct {
 // ring, failing over to the key's next ring replica on transport
 // error, busy shedding, or node-side misrouting rejection.
 type Gateway struct {
-	cfg Config
-	st  *gstats
+	cfg     Config
+	st      *gstats
+	limiter *qos.Limiter
 
 	// ring is the immutable routing snapshot; memberMu serializes
 	// membership changes (ring swaps + nodes map edits).
@@ -179,6 +187,7 @@ func NewGateway(nodes []string, cfg Config) (*Gateway, error) {
 	g := &Gateway{
 		cfg:        cfg,
 		st:         &gstats{},
+		limiter:    qos.NewLimiter(cfg.Admission),
 		nodes:      map[string]*nodeState{},
 		proberStop: make(chan struct{}),
 	}
@@ -400,13 +409,49 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
 			Err: fmt.Sprintf("protocol version %d not supported (gateway speaks ≤ %d)", req.Version, cloud.ProtocolVersion)}
 	}
+	lane, ok := qos.LaneFromWire(req.Lane)
+	if !ok {
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("unknown lane %d (want 0 interactive or 1 bulk)", req.Lane)}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = qos.DefaultTenant
+	}
+	tkey := tenant + "/" + lane.String()
 	key, err := RouteKey(req)
 	if err != nil {
 		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: err.Error()}
 	}
+	// Token-bucket admission runs before any backend work: an over-quota
+	// tenant costs the cluster one map lookup, not a shard round trip.
+	if !g.limiter.Allow(tenant, lane) {
+		g.st.tenantShed(tkey)
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOverQuota,
+			Err: fmt.Sprintf("tenant %q over %s-lane quota, retry with backoff", tenant, lane)}
+	}
 	g.st.admitted()
+	g.st.tenantAdmitted(tkey)
 	req.RouteKey = key
-	deadline := time.Now().Add(g.cfg.RequestTimeout)
+	// The failover budget is the client's remaining deadline capped by
+	// the gateway's own bound; before each hop the remainder is
+	// re-stamped into the forwarded frame so the shard times the queue
+	// wait against what the client actually has left, not what it had
+	// when it dialed the gateway.
+	now := time.Now()
+	deadline := now.Add(g.cfg.RequestTimeout)
+	var clientDeadline time.Time
+	if req.BudgetMicros < 0 {
+		g.st.shedExpired()
+		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeExpired,
+			Err: fmt.Sprintf("deadline budget exhausted before arrival (%dµs over)", -req.BudgetMicros)}
+	}
+	if req.BudgetMicros > 0 {
+		clientDeadline = now.Add(time.Duration(req.BudgetMicros) * time.Microsecond)
+		if clientDeadline.Before(deadline) {
+			deadline = clientDeadline
+		}
+	}
 
 	var owners [maxReplication]string
 	var last *serve.WireResponse
@@ -424,9 +469,25 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 		reroute := false
 		for i := 0; i < n && !reroute; i++ {
 			if time.Now().After(deadline) {
+				if !clientDeadline.IsZero() && !time.Now().Before(clientDeadline) {
+					// The client's budget died during failover: stop burning
+					// replica attempts on a request nobody is waiting for.
+					g.st.shedExpired()
+					return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeExpired,
+						Err: "cluster: deadline budget exhausted during failover"}
+				}
 				g.st.errored()
 				return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy,
 					Err: fmt.Sprintf("cluster: request deadline %v exceeded during failover", g.cfg.RequestTimeout)}
+			}
+			if !clientDeadline.IsZero() {
+				rem := time.Until(clientDeadline).Microseconds()
+				if rem <= 0 {
+					g.st.shedExpired()
+					return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeExpired,
+						Err: "cluster: deadline budget exhausted during failover"}
+				}
+				req.BudgetMicros = rem
 			}
 			addr := owners[i]
 			ns := g.node(addr)
@@ -458,6 +519,12 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 				} else {
 					g.st.errored()
 				}
+				return resp
+			case cloud.CodeExpired:
+				// Definitive: the deadline is as dead on every replica as it
+				// is here — retrying would spend cluster capacity on a
+				// request whose caller already gave up.
+				g.st.shedExpired()
 				return resp
 			case cloud.CodeWrongOwner, cloud.CodeRingChanged:
 				// The node refused the placement. Its replicas may still

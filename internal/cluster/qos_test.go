@@ -1,0 +1,168 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"capnn/internal/cloud"
+	"capnn/internal/qos"
+	"capnn/internal/serve"
+)
+
+// Gateway admission: an over-quota tenant is shed with the retryable
+// typed code before any shard sees the request, tenants are isolated,
+// and the scrape-visible counters attribute admissions and sheds to
+// their (tenant, lane) stream.
+func TestGatewayAdmissionOverQuota(t *testing.T) {
+	f := getClusterFixture(t)
+	nodes := startTestNodes(t, 1)
+	cfg := testGWConfig()
+	// Bulk gets a burst of 2 and effectively no refill inside the test;
+	// interactive stays unlimited.
+	cfg.Admission = qos.LimiterConfig{Default: qos.LaneLimits{Bulk: qos.Limit{Rate: 0.001, Burst: 2}}}
+	g, err := NewGateway(nodeAddrs(nodes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	bulk := func(u int, tenant string) serve.WireRequest {
+		req := f.inferRequest(u, u)
+		req.Lane = int(qos.LaneBulk)
+		req.Tenant = tenant
+		return req
+	}
+	for i := 0; i < 2; i++ {
+		if resp := g.Route(bulk(i, "batch")); resp.Code != cloud.CodeOK {
+			t.Fatalf("bulk request %d within burst: [%s] %s", i, resp.Code, resp.Err)
+		}
+	}
+	resp := g.Route(bulk(2, "batch"))
+	if resp.Code != cloud.CodeOverQuota {
+		t.Fatalf("bulk request past burst: [%s] %s, want over-quota", resp.Code, resp.Err)
+	}
+	if !resp.Code.Retryable() {
+		t.Fatal("over-quota must be retryable with backoff")
+	}
+	// Another tenant's bucket is untouched, and the unlimited
+	// interactive lane ignores bulk quota entirely.
+	if resp := g.Route(bulk(3, "other")); resp.Code != cloud.CodeOK {
+		t.Fatalf("tenant isolation: [%s] %s", resp.Code, resp.Err)
+	}
+	for i := 0; i < 4; i++ {
+		if resp := g.Route(f.inferRequest(i, i)); resp.Code != cloud.CodeOK {
+			t.Fatalf("interactive request %d: [%s] %s", i, resp.Code, resp.Err)
+		}
+	}
+
+	st := g.Stats()
+	if st.ShedOverQuota != 1 {
+		t.Errorf("ShedOverQuota = %d, want 1", st.ShedOverQuota)
+	}
+	ts := st.Tenants["batch/bulk"]
+	if ts.Admitted != 2 || ts.ShedOverQuota != 1 {
+		t.Errorf("tenant batch/bulk = %+v, want admitted=2 shed=1", ts)
+	}
+	if !strings.Contains(st.String(), "tenant batch/bulk") {
+		t.Errorf("Stats.String() omits tenant breakdown:\n%s", st)
+	}
+}
+
+// A request whose deadline budget is already spent — negative on
+// arrival, or so small it dies at the gateway or the shard — answers
+// with the permanent expired code, never burns failover attempts on
+// replicas, and is counted as an expired shed.
+func TestGatewayExpiredShortCircuitsFailover(t *testing.T) {
+	f := getClusterFixture(t)
+	nodes := startTestNodes(t, 2)
+	g, err := NewGateway(nodeAddrs(nodes), testGWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	// Exhausted upstream: shed before any routing work.
+	req := f.inferRequest(0, 0)
+	req.BudgetMicros = -50
+	resp := g.Route(req)
+	if resp.Code != cloud.CodeExpired {
+		t.Fatalf("negative budget: [%s] %s, want expired", resp.Code, resp.Err)
+	}
+	if resp.Code.Retryable() {
+		t.Fatal("expired must not be retryable")
+	}
+	st := g.Stats()
+	if st.ShedExpired != 1 {
+		t.Errorf("ShedExpired = %d, want 1", st.ShedExpired)
+	}
+	for addr, ns := range st.Nodes {
+		if ns.Requests != 0 {
+			t.Errorf("node %s saw %d requests for a dead-on-arrival budget", addr, ns.Requests)
+		}
+	}
+
+	// A budget too small to survive the trip expires at the gateway's
+	// pre-attempt check or on the shard — either way the client gets the
+	// permanent code after at most one node attempt (no replica burn).
+	req = f.inferRequest(1, 1)
+	req.BudgetMicros = 50 // 50µs: far below one queue+forward
+	resp = g.Route(req)
+	if resp.Code != cloud.CodeExpired {
+		t.Fatalf("micro budget: [%s] %s, want expired", resp.Code, resp.Err)
+	}
+	st = g.Stats()
+	var attempts uint64
+	for _, ns := range st.Nodes {
+		attempts += ns.Requests
+	}
+	if attempts > 1 {
+		t.Errorf("expired request burned %d node attempts, want ≤ 1", attempts)
+	}
+	if st.Failovers != 0 {
+		t.Errorf("expired request failed over %d times, want 0", st.Failovers)
+	}
+	if st.ShedExpired < 2 {
+		t.Errorf("ShedExpired = %d, want ≥ 2", st.ShedExpired)
+	}
+
+	// Malformed lane: rejected before admission or routing.
+	req = f.inferRequest(2, 2)
+	req.Lane = 9
+	if resp := g.Route(req); resp.Code != cloud.CodeBadRequest {
+		t.Fatalf("unknown lane: [%s] %s, want bad-request", resp.Code, resp.Err)
+	}
+}
+
+// The gateway re-stamps the remaining budget per hop: a healthy request
+// with a generous budget rides it through the shard and still serves,
+// and the forwarded frame carries a positive remainder (a shard that
+// saw the original absolute value as relative would mis-time it).
+func TestGatewayBudgetPropagation(t *testing.T) {
+	f := getClusterFixture(t)
+	nodes := startTestNodes(t, 2)
+	g, err := NewGateway(nodeAddrs(nodes), testGWConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	req := f.inferRequest(0, 0)
+	req.BudgetMicros = (2 * time.Second).Microseconds()
+	req.Tenant = "vip"
+	req.Lane = int(qos.LaneInteractive)
+	if resp := g.Route(req); resp.Code != cloud.CodeOK {
+		t.Fatalf("budgeted request: [%s] %s", resp.Code, resp.Err)
+	}
+	// The shard counted no expiry: the remainder arrived intact.
+	var expired uint64
+	for _, n := range nodes {
+		expired += n.srv.Stats().ShedExpired
+	}
+	if expired != 0 {
+		t.Errorf("shards shed %d budgeted requests as expired", expired)
+	}
+	if ts := g.Stats().Tenants["vip/interactive"]; ts.Admitted != 1 {
+		t.Errorf("tenant vip/interactive = %+v, want admitted=1", ts)
+	}
+}

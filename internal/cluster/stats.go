@@ -20,8 +20,13 @@ type Stats struct {
 
 	// Requests counts client requests admitted for routing; Completed
 	// the subset answered with CodeOK; Errors the subset that exhausted
-	// every attempt; Shed the requests rejected while draining.
+	// every attempt; Shed the requests the gateway rejected before
+	// routing, broken down by reason: draining (untyped remainder),
+	// ShedOverQuota (tenant token bucket empty, CodeOverQuota),
+	// ShedExpired (deadline budget already spent on arrival or during
+	// failover, CodeExpired).
 	Requests, Completed, Errors, Shed uint64
+	ShedOverQuota, ShedExpired        uint64
 
 	// Retries counts extra attempts after the first (same node redial
 	// or replica), Failovers the subset that moved to a different node,
@@ -29,8 +34,20 @@ type Stats struct {
 	// CodeRingChanged) that forced a re-route on a fresh ring.
 	Retries, Failovers, WrongOwner uint64
 
+	// Tenants maps "tenant/lane" to that stream's admission outcomes —
+	// the multi-tenant fairness view: which tenant is consuming quota
+	// and which is being shed.
+	Tenants map[string]TenantStats
+
 	// Nodes holds per-node routing and health-probe metrics.
 	Nodes map[string]NodeStats
+}
+
+// TenantStats is one (tenant, lane) stream's admission counters.
+type TenantStats struct {
+	// Admitted counts requests that passed the token bucket;
+	// ShedOverQuota the requests it refused.
+	Admitted, ShedOverQuota uint64
 }
 
 // NodeStats is one serve node as the gateway sees it.
@@ -67,7 +84,17 @@ func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "ring: version=%d members=%d\n", s.RingVersion, len(s.Members))
 	fmt.Fprintf(&b, "requests=%d completed=%d errors=%d shed=%d\n", s.Requests, s.Completed, s.Errors, s.Shed)
+	fmt.Fprintf(&b, "shed: over-quota=%d expired=%d\n", s.ShedOverQuota, s.ShedExpired)
 	fmt.Fprintf(&b, "routing: retries=%d failovers=%d wrong-owner=%d", s.Retries, s.Failovers, s.WrongOwner)
+	tenants := make([]string, 0, len(s.Tenants))
+	for t := range s.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		ts := s.Tenants[t]
+		fmt.Fprintf(&b, "\ntenant %s: admitted=%d shed-over-quota=%d", t, ts.Admitted, ts.ShedOverQuota)
+	}
 	names := make([]string, 0, len(s.Nodes))
 	for n := range s.Nodes {
 		names = append(names, n)
@@ -103,9 +130,41 @@ func (st *gstats) retried()    { st.add(func(s *Stats) { s.Retries++ }) }
 func (st *gstats) failedOver() { st.add(func(s *Stats) { s.Failovers++ }) }
 func (st *gstats) wrongOwner() { st.add(func(s *Stats) { s.WrongOwner++ }) }
 
+func (st *gstats) shedExpired() { st.add(func(s *Stats) { s.Shed++; s.ShedExpired++ }) }
+
+// tenantAdmitted / tenantShed record one (tenant, lane) admission
+// outcome; the shed path also bumps the gateway-wide over-quota counter.
+func (st *gstats) tenantAdmitted(key string) {
+	st.add(func(s *Stats) {
+		if s.Tenants == nil {
+			s.Tenants = map[string]TenantStats{}
+		}
+		ts := s.Tenants[key]
+		ts.Admitted++
+		s.Tenants[key] = ts
+	})
+}
+
+func (st *gstats) tenantShed(key string) {
+	st.add(func(s *Stats) {
+		s.Shed++
+		s.ShedOverQuota++
+		if s.Tenants == nil {
+			s.Tenants = map[string]TenantStats{}
+		}
+		ts := s.Tenants[key]
+		ts.ShedOverQuota++
+		s.Tenants[key] = ts
+	})
+}
+
 func (st *gstats) snapshot() Stats {
 	st.mu.Lock()
 	out := st.s
+	out.Tenants = make(map[string]TenantStats, len(st.s.Tenants))
+	for k, v := range st.s.Tenants {
+		out.Tenants[k] = v
+	}
 	st.mu.Unlock()
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/nn"
+	"capnn/internal/qos"
 	"capnn/internal/tensor"
 )
 
@@ -15,15 +16,28 @@ import (
 // collide with a mask key: those are always "variant/hash".
 const unprunedKey = "!unpruned"
 
+// bulkKeyPrefix lane-qualifies a bulk request's group key so interactive
+// and bulk traffic for the same personalization never share a flush:
+// their deadline profiles differ, and mixing them would let one bulk
+// straggler ride (and delay) an interactive batch. The prefix cannot
+// collide with a mask key ("variant/hash") or unprunedKey.
+const bulkKeyPrefix = "!bulk|"
+
 // request is one admitted inference riding the batcher: its input
 // sample (flattened [C,H,W]), the group key and masks it forwards
-// under (nil masks = unpruned), and the channel its outcome lands on
-// (buffered; the flusher never blocks).
+// under (nil masks = unpruned), its QoS envelope, and the channel its
+// outcome lands on (buffered; the flusher never blocks).
 type request struct {
 	gkey     string
 	masks    map[int][]bool
 	x        []float64
 	enqueued time.Time
+	// deadline is the request's effective absolute deadline (client
+	// budget capped by the server's RequestTimeout; never zero). The
+	// batcher schedules EDF flushes from it and sheds the request —
+	// expire-in-queue — when it passes before the flush runs.
+	deadline time.Time
+	lane     qos.Lane
 	done     chan outcome
 }
 
@@ -33,22 +47,50 @@ type outcome struct {
 	err    error
 }
 
-// group is the pending micro-batch for one mask key. Its timer fires the
-// MaxWait flush; dispatching marks it flushed so the racing path
-// (timer vs MaxBatch) becomes a no-op.
+// group is the pending micro-batch for one (lane, mask key). Its timer
+// fires the EDF flush; dispatching marks it flushed so racing paths
+// (timer vs MaxBatch vs an earlier re-arm) become no-ops.
 type group struct {
 	gkey    string
 	masks   map[int][]bool
+	lane    qos.Lane
 	reqs    []*request
 	timer   *time.Timer
+	flushAt time.Time // earliest member's EDF flush point
 	flushed bool
 }
 
-// batcher queues admitted requests, groups them by mask key, and flushes
-// each group — when it reaches maxBatch or its maxWait timer fires —
+// edfFlushAt computes when a single request wants its group flushed:
+// early enough that the batched forward — estimated from the observed
+// per-stage latency stats, padded by slack — still completes inside the
+// request's deadline, but never later than the MaxWait tail-latency
+// bound. This is the earliest-deadline-first rule: a group's flush point
+// is the minimum of its members' values, so the most urgent member
+// drives the flush. Pure function of its inputs, so tests judge it on a
+// fake clock.
+func edfFlushAt(enqueued, deadline time.Time, maxWait, estimate, slack time.Duration) time.Time {
+	at := enqueued.Add(maxWait)
+	if byDeadline := deadline.Add(-estimate - slack); byDeadline.Before(at) {
+		at = byDeadline
+	}
+	if at.Before(enqueued) {
+		// Already urgent (tiny remaining budget): flush immediately
+		// rather than scheduling into the past.
+		return enqueued
+	}
+	return at
+}
+
+// batcher queues admitted requests, groups them by (lane, mask key), and
+// flushes each group — when it reaches maxBatch or its EDF timer fires —
 // through a fixed worker pool that runs one batched masked forward per
-// group. Admission is bounded: more than maxQueue requests in flight and
-// submit sheds with CodeBusy, the same discipline as internal/cloud.
+// group. Workers drain the interactive lane first; bulk groups wait
+// whenever interactive work is ready. Admission is bounded: more than
+// maxQueue requests in flight and submit sheds with CodeBusy; bulk
+// requests yield earlier, shedding with CodeOverQuota once the queue
+// passes the bulk threshold. A request whose deadline passes while
+// queued is answered with CodeExpired at flush time and never reaches a
+// forward.
 type batcher struct {
 	net      *nn.Network
 	sample   int // flattened per-sample input length
@@ -56,14 +98,18 @@ type batcher struct {
 	maxBatch int
 	maxWait  time.Duration
 	maxQueue int
+	bulkMax  int // bulk lane's queue threshold (≤ maxQueue)
+	edfSlack time.Duration
 	st       *stats
+	now      func() time.Time // injectable for tests
 
 	mu      sync.Mutex
 	pending map[string]*group
 	queued  int // admitted, not yet completed
 	closed  bool
 
-	flushCh chan *group
+	flushHi chan *group // interactive lane
+	flushLo chan *group // bulk lane
 	workers sync.WaitGroup
 
 	// hookBeforeFlush, when set by tests, runs in the worker just before
@@ -71,7 +117,7 @@ type batcher struct {
 	hookBeforeFlush func(*group)
 }
 
-func newBatcher(net *nn.Network, maxBatch int, maxWait time.Duration, maxQueue, workers int, st *stats) *batcher {
+func newBatcher(net *nn.Network, maxBatch int, maxWait time.Duration, maxQueue, bulkMax, workers int, edfSlack time.Duration, st *stats) *batcher {
 	per := 1
 	for _, d := range net.InShape {
 		per *= d
@@ -83,15 +129,19 @@ func newBatcher(net *nn.Network, maxBatch int, maxWait time.Duration, maxQueue, 
 		maxBatch: maxBatch,
 		maxWait:  maxWait,
 		maxQueue: maxQueue,
+		bulkMax:  bulkMax,
+		edfSlack: edfSlack,
 		st:       st,
+		now:      time.Now,
 		pending:  map[string]*group{},
 		// Undrained groups never outnumber queued requests, and queued is
-		// capped at maxQueue — so a maxQueue-deep buffer lets dispatchers
+		// capped at maxQueue — so maxQueue-deep buffers let dispatchers
 		// send while holding b.mu without ever blocking. Sending under
 		// the lock is what makes close() safe: once close() has swept
 		// pending under the lock, no later sender can race the channel
 		// close.
-		flushCh: make(chan *group, maxQueue),
+		flushHi: make(chan *group, maxQueue),
+		flushLo: make(chan *group, maxQueue),
 	}
 	for i := 0; i < workers; i++ {
 		b.workers.Add(1)
@@ -108,8 +158,8 @@ func (b *batcher) depth() int {
 }
 
 // submit queues one request, flushing its group if that fills it.
-// The returned error is a typed *Error (busy or closed); on success the
-// caller waits on r.done.
+// The returned error is a typed *Error (busy, over-quota or closed); on
+// success the caller waits on r.done.
 func (b *batcher) submit(r *request) error {
 	b.mu.Lock()
 	if b.closed {
@@ -118,34 +168,51 @@ func (b *batcher) submit(r *request) error {
 	}
 	if b.queued >= b.maxQueue {
 		b.mu.Unlock()
-		b.st.shed()
+		b.st.shedQueueFull()
 		return &Error{Code: cloud.CodeBusy, Err: fmt.Errorf("queue full (%d in flight), retry with backoff", b.maxQueue)}
+	}
+	if r.lane == qos.LaneBulk && b.queued >= b.bulkMax {
+		// Bulk yields under pressure: interactive traffic may still use
+		// the remaining queue headroom, bulk backs off now.
+		b.mu.Unlock()
+		b.st.shedOverQuota()
+		return &Error{Code: cloud.CodeOverQuota,
+			Err: fmt.Errorf("bulk lane yielding (%d of %d queue slots in use), retry with backoff", b.bulkMax, b.maxQueue)}
 	}
 	b.queued++
 	key := r.gkey
+	if r.lane == qos.LaneBulk {
+		key = bulkKeyPrefix + key
+	}
+	reqFlushAt := edfFlushAt(r.enqueued, r.deadline, b.maxWait, b.st.forwardEstimate(), b.edfSlack)
 	g, ok := b.pending[key]
 	if !ok {
-		g = &group{gkey: key, masks: r.masks}
+		g = &group{gkey: key, masks: r.masks, lane: r.lane, flushAt: reqFlushAt}
 		b.pending[key] = g
-		if b.maxWait > 0 {
-			g.timer = time.AfterFunc(b.maxWait, func() { b.flushKey(key, g) })
-		}
+		g.timer = time.AfterFunc(time.Until(reqFlushAt), func() { b.flushKey(key, g) })
+	} else if reqFlushAt.Before(g.flushAt) {
+		// EDF re-arm: this member is more urgent than the group's current
+		// flush point. flushKey is idempotent (detachLocked), so the old
+		// firing racing the new one is harmless.
+		g.flushAt = reqFlushAt
+		g.timer.Stop()
+		g.timer = time.AfterFunc(time.Until(reqFlushAt), func() { b.flushKey(key, g) })
 	}
 	g.reqs = append(g.reqs, r)
 	if len(g.reqs) >= b.maxBatch {
 		if full := b.detachLocked(key, g); full != nil {
-			b.flushCh <- full
+			b.dispatchLocked(full)
 		}
 	}
 	b.mu.Unlock()
 	return nil
 }
 
-// flushKey is the MaxWait timer path: flush g if it is still pending.
+// flushKey is the EDF/MaxWait timer path: flush g if it is still pending.
 func (b *batcher) flushKey(key string, g *group) {
 	b.mu.Lock()
 	if detached := b.detachLocked(key, g); detached != nil {
-		b.flushCh <- detached
+		b.dispatchLocked(detached)
 	}
 	b.mu.Unlock()
 }
@@ -164,21 +231,78 @@ func (b *batcher) detachLocked(key string, g *group) *group {
 	return g
 }
 
-func (b *batcher) worker() {
-	defer b.workers.Done()
-	for g := range b.flushCh {
-		b.runGroup(g)
+// dispatchLocked sends a detached group to its lane's flush channel.
+// Caller holds b.mu; the buffers are sized so this never blocks.
+func (b *batcher) dispatchLocked(g *group) {
+	if g.lane == qos.LaneBulk {
+		b.flushLo <- g
+	} else {
+		b.flushHi <- g
 	}
 }
 
-// runGroup executes one batched masked forward and fans the logits out
-// to the group's requests. A panic anywhere inside fails the group's
-// requests with CodeInternal instead of killing the worker.
+// worker drains flushed groups, always preferring the interactive lane:
+// a ready interactive group runs before any bulk group, and bulk is
+// only taken when no interactive work is waiting. Receiving on a nil
+// channel blocks forever, which is exactly the "this lane is closed and
+// drained" behavior the local hi/lo copies want.
+func (b *batcher) worker() {
+	defer b.workers.Done()
+	hi, lo := b.flushHi, b.flushLo
+	for hi != nil || lo != nil {
+		if hi != nil {
+			select {
+			case g, ok := <-hi:
+				if !ok {
+					hi = nil
+					continue
+				}
+				b.runGroup(g)
+				continue
+			default:
+			}
+		}
+		select {
+		case g, ok := <-hi:
+			if !ok {
+				hi = nil
+				continue
+			}
+			b.runGroup(g)
+		case g, ok := <-lo:
+			if !ok {
+				lo = nil
+				continue
+			}
+			b.runGroup(g)
+		}
+	}
+}
+
+// runGroup sheds expired members, executes one batched masked forward
+// over the survivors, and fans the logits out. The expiry check is what
+// guarantees no request past its deadline ever reaches a forward: the
+// waiter has already been answered by its own deadline timer, so the
+// work would be pure waste heat. A panic anywhere inside fails the
+// group's requests with CodeInternal instead of killing the worker.
 func (b *batcher) runGroup(g *group) {
-	flushStart := time.Now()
+	flushStart := b.now()
+	live := g.reqs[:0]
+	for _, req := range g.reqs {
+		if flushStart.After(req.deadline) {
+			b.st.shedExpired()
+			req.done <- outcome{err: &Error{Code: cloud.CodeExpired,
+				Err: fmt.Errorf("deadline passed %v before flush (expired in queue)", flushStart.Sub(req.deadline))}}
+			b.st.completed()
+			continue
+		}
+		live = append(live, req)
+	}
+	expired := len(g.reqs) - len(live)
+	g.reqs = live
 	defer func() {
 		b.mu.Lock()
-		b.queued -= len(g.reqs)
+		b.queued -= len(g.reqs) + expired
 		b.mu.Unlock()
 		if r := recover(); r != nil {
 			err := &Error{Code: cloud.CodeInternal, Err: fmt.Errorf("batch forward: %v", r)}
@@ -190,6 +314,9 @@ func (b *batcher) runGroup(g *group) {
 			}
 		}
 	}()
+	if len(g.reqs) == 0 {
+		return // every member expired in queue: no forward at all
+	}
 	if b.hookBeforeFlush != nil {
 		b.hookBeforeFlush(g)
 	}
@@ -218,7 +345,7 @@ func (b *batcher) runGroup(g *group) {
 }
 
 // close stops admission, flushes every pending group so no admitted
-// request is stranded, and waits for the workers to drain.
+// request is stranded, and waits for the workers to drain both lanes.
 func (b *batcher) close() {
 	b.mu.Lock()
 	if b.closed {
@@ -228,10 +355,11 @@ func (b *batcher) close() {
 	b.closed = true
 	for key, g := range b.pending {
 		if d := b.detachLocked(key, g); d != nil {
-			b.flushCh <- d
+			b.dispatchLocked(d)
 		}
 	}
 	b.mu.Unlock()
-	close(b.flushCh)
+	close(b.flushHi)
+	close(b.flushLo)
 	b.workers.Wait()
 }

@@ -10,6 +10,7 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/core"
+	"capnn/internal/qos"
 )
 
 // The wire format deliberately mirrors internal/cloud: gob over TCP, one
@@ -61,6 +62,21 @@ type WireRequest struct {
 	// direct (non-gateway) requests.
 	RouteKey    string
 	RingVersion uint64
+
+	// QoS envelope (protocol v2). BudgetMicros is the request's
+	// remaining deadline budget in microseconds — relative, not an
+	// absolute timestamp, so it survives clock skew between hops; each
+	// hop re-stamps the remainder before forwarding. Zero means no
+	// client deadline (the server's RequestTimeout still bounds the
+	// wait); negative means the budget was exhausted upstream and the
+	// server answers CodeExpired without queueing. Tenant names the
+	// quota account ("" = "default"); Lane is the qos.Lane wire value
+	// (0 interactive, 1 bulk). Gob decodes missing fields to zero, so
+	// v1 frames get: no deadline, default tenant, interactive lane —
+	// exactly the pre-QoS behavior.
+	BudgetMicros int64
+	Tenant       string
+	Lane         int
 }
 
 // WireResponse carries the logits or a typed error.
@@ -228,7 +244,25 @@ func (s *Server) Handle(req WireRequest) *WireResponse {
 	}
 	prefs.Normalize()
 
-	res, err := s.infer(v, prefs, req.Input)
+	lane, ok := qos.LaneFromWire(req.Lane)
+	if !ok {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("unknown lane %d (want 0 interactive or 1 bulk)", req.Lane)}
+	}
+	q := QoS{Lane: lane, Tenant: req.Tenant}
+	switch {
+	case req.BudgetMicros < 0:
+		// The budget died in flight (e.g. a gateway re-stamped a
+		// remainder that went negative). Refuse before queueing: the
+		// typed code tells the caller not to retry this request.
+		s.st.shedExpired()
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeExpired,
+			Err: fmt.Sprintf("deadline budget exhausted before arrival (%dµs over)", -req.BudgetMicros)}
+	case req.BudgetMicros > 0:
+		q.Deadline = time.Now().Add(time.Duration(req.BudgetMicros) * time.Microsecond)
+	}
+
+	res, err := s.infer(v, prefs, req.Input, q)
 	if err != nil {
 		te := err.(*Error)
 		return &WireResponse{Version: cloud.ProtocolVersion, Code: te.Code, Err: te.Err.Error()}

@@ -28,6 +28,7 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/core"
+	"capnn/internal/qos"
 	"capnn/internal/tensor"
 )
 
@@ -51,8 +52,20 @@ type Config struct {
 	MaxQueue int
 	// RequestTimeout bounds one request's total time in the server
 	// (personalize + queue + forward); expiry returns CodeBusy so
-	// clients back off. Default 30s.
+	// clients back off. A request that propagates its own deadline
+	// budget is bounded by min(budget, RequestTimeout) and expires with
+	// CodeExpired instead. Default 30s.
 	RequestTimeout time.Duration
+	// EDFSlack pads the EDF batcher's service-time estimate: a group
+	// flushes when its most urgent member's remaining budget is down to
+	// (estimated forward latency + EDFSlack), so the answer still lands
+	// inside the deadline. Default 500µs.
+	EDFSlack time.Duration
+	// BulkQueueFraction is the share of MaxQueue the bulk lane may
+	// occupy before bulk requests are shed with CodeOverQuota, leaving
+	// the remaining headroom to interactive traffic. Default 0.5;
+	// values are clamped to (0, 1].
+	BulkQueueFraction float64
 	// ReadTimeout / WriteTimeout / MaxRequestBytes are the TCP framing
 	// limits, with the same semantics as cloud.Config. Defaults 30s /
 	// 30s / 1MiB.
@@ -95,16 +108,18 @@ type Config struct {
 // DefaultConfig returns the production defaults.
 func DefaultConfig() Config {
 	return Config{
-		Variant:         core.VariantM,
-		MaxBatch:        8,
-		MaxWait:         2 * time.Millisecond,
-		Workers:         runtime.GOMAXPROCS(0),
-		CacheCap:        256,
-		MaxQueue:        1024,
-		RequestTimeout:  30 * time.Second,
-		ReadTimeout:     30 * time.Second,
-		WriteTimeout:    30 * time.Second,
-		MaxRequestBytes: 1 << 20,
+		Variant:           core.VariantM,
+		MaxBatch:          8,
+		MaxWait:           2 * time.Millisecond,
+		Workers:           runtime.GOMAXPROCS(0),
+		CacheCap:          256,
+		MaxQueue:          1024,
+		RequestTimeout:    30 * time.Second,
+		EDFSlack:          500 * time.Microsecond,
+		BulkQueueFraction: 0.5,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		MaxRequestBytes:   1 << 20,
 
 		GuardSampleEvery: 8,
 		GuardWindow:      256,
@@ -141,6 +156,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = d.RequestTimeout
+	}
+	if c.EDFSlack <= 0 {
+		c.EDFSlack = d.EDFSlack
+	}
+	if c.BulkQueueFraction <= 0 {
+		c.BulkQueueFraction = d.BulkQueueFraction
+	}
+	if c.BulkQueueFraction > 1 {
+		c.BulkQueueFraction = 1
 	}
 	if c.ReadTimeout <= 0 {
 		c.ReadTimeout = d.ReadTimeout
@@ -266,12 +290,16 @@ func NewServer(sys *core.System) *Server { return NewServerWith(sys, Config{}) }
 func NewServerWith(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	st := newStats()
+	bulkMax := int(float64(cfg.MaxQueue) * cfg.BulkQueueFraction)
+	if bulkMax < 1 {
+		bulkMax = 1
+	}
 	return &Server{
 		sys:     sys,
 		cfg:     cfg,
 		st:      st,
 		cache:   newMaskCache(cfg.CacheCap, st),
-		batch:   newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, cfg.Workers, st),
+		batch:   newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, bulkMax, cfg.Workers, cfg.EDFSlack, st),
 		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
 	}
@@ -304,20 +332,41 @@ func (s *Server) Stats() Stats {
 	return out
 }
 
+// QoS is one request's quality-of-service envelope: the absolute
+// deadline its caller needs the answer by (zero = none; the server's
+// RequestTimeout still applies), the priority lane it rides, and the
+// tenant it is accounted under. The zero value — no deadline,
+// interactive lane, default tenant — reproduces pre-QoS behavior
+// exactly.
+type QoS struct {
+	Deadline time.Time
+	Lane     qos.Lane
+	Tenant   string
+}
+
 // Infer serves one sample x (per-sample shape, no batch dimension) for
 // a user with the given preferences under the server's default variant.
 // It blocks until the micro-batch the request lands in is flushed, or
 // fails with a typed *Error.
 func (s *Server) Infer(prefs core.Preferences, x *tensor.Tensor) (Result, error) {
-	return s.infer(s.cfg.Variant, prefs, x.Data())
+	return s.infer(s.cfg.Variant, prefs, x.Data(), QoS{})
 }
 
 // InferVariant is Infer under an explicit pruning variant.
 func (s *Server) InferVariant(v core.Variant, prefs core.Preferences, x *tensor.Tensor) (Result, error) {
-	return s.infer(v, prefs, x.Data())
+	return s.infer(v, prefs, x.Data(), QoS{})
 }
 
-func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Result, error) {
+// InferQoS is InferVariant with an explicit QoS envelope: the request's
+// queue timer is armed from its remaining deadline budget (capped by
+// the server's RequestTimeout), its group flushes earliest-deadline-
+// first, and a bulk-lane request yields queue headroom to interactive
+// traffic under pressure.
+func (s *Server) InferQoS(v core.Variant, prefs core.Preferences, x *tensor.Tensor, q QoS) (Result, error) {
+	return s.infer(v, prefs, x.Data(), q)
+}
+
+func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64, q QoS) (Result, error) {
 	switch v {
 	case core.VariantB, core.VariantW, core.VariantM:
 	default:
@@ -333,7 +382,22 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 	if s.isDraining() {
 		return Result{}, &Error{Code: cloud.CodeBusy, Err: fmt.Errorf("server draining")}
 	}
-	deadline := time.NewTimer(s.cfg.RequestTimeout)
+	// The request's effective deadline is its own budget capped by the
+	// server bound — so a 50ms client waits 50ms, not the 30s default
+	// (and a malicious 10h budget cannot occupy a queue slot for 10h).
+	now := time.Now()
+	effDeadline := now.Add(s.cfg.RequestTimeout)
+	clientBound := false
+	if !q.Deadline.IsZero() && q.Deadline.Before(effDeadline) {
+		effDeadline = q.Deadline
+		clientBound = true
+	}
+	if !now.Before(effDeadline) {
+		s.st.shedExpired()
+		return Result{}, &Error{Code: cloud.CodeExpired,
+			Err: fmt.Errorf("deadline already passed at admission (budget exhausted upstream)")}
+	}
+	deadline := time.NewTimer(time.Until(effDeadline))
 	defer deadline.Stop()
 
 	// The cache key spans variant and canonical preferences: the same
@@ -360,7 +424,8 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 			s.st.fallbackServed()
 		}
 	}
-	req := &request{gkey: gkey, masks: masks, x: x, enqueued: time.Now(), done: make(chan outcome, 1)}
+	req := &request{gkey: gkey, masks: masks, x: x, enqueued: time.Now(),
+		deadline: effDeadline, lane: q.Lane, done: make(chan outcome, 1)}
 	if err := s.batch.submit(req); err != nil {
 		return Result{}, err.(*Error)
 	}
@@ -383,8 +448,14 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64) (Res
 			Fallback: fallback,
 		}, nil
 	case <-deadline.C:
-		// The flush will still complete and drop its outcome into the
-		// buffered channel; only this waiter gives up.
+		// The flush will still answer into the buffered channel (or shed
+		// the request as expired-in-queue); only this waiter gives up. A
+		// client-propagated deadline expires permanently; hitting the
+		// server's own cap stays a retryable busy signal.
+		if clientBound {
+			return Result{}, &Error{Code: cloud.CodeExpired,
+				Err: fmt.Errorf("deadline budget exhausted after %v in queue", effDeadline.Sub(now).Truncate(time.Microsecond))}
+		}
 		return Result{}, &Error{Code: cloud.CodeBusy,
 			Err: fmt.Errorf("request deadline %v exceeded in queue", s.cfg.RequestTimeout)}
 	}

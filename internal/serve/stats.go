@@ -14,8 +14,14 @@ import (
 type Stats struct {
 	// Requests counts admitted inference requests; Completed counts the
 	// subset that produced a response (success or per-request failure);
-	// Shed counts requests rejected at admission with CodeBusy.
-	Requests, Completed, Shed uint64
+	// Shed counts requests rejected with a typed shedding code, broken
+	// down by reason: ShedQueueFull (CodeBusy, queue bound reached),
+	// ShedOverQuota (CodeOverQuota, bulk lane yielding under pressure),
+	// ShedExpired (CodeExpired, deadline passed at admission or while
+	// queued — the expire-in-queue path that keeps dead requests away
+	// from workers).
+	Requests, Completed, Shed                 uint64
+	ShedQueueFull, ShedOverQuota, ShedExpired uint64
 
 	// CacheHits/CacheMisses classify mask-cache lookups; a miss runs a
 	// personalization. SingleflightShared counts lookups that joined an
@@ -106,6 +112,7 @@ func meanNs(total int64, n uint64) time.Duration {
 func (s Stats) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "requests=%d completed=%d shed=%d queue=%d\n", s.Requests, s.Completed, s.Shed, s.QueueDepth)
+	fmt.Fprintf(&b, "shed: queue-full=%d over-quota=%d expired=%d\n", s.ShedQueueFull, s.ShedOverQuota, s.ShedExpired)
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d hit-ratio=%.3f\n",
 		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries, s.HitRatio())
 	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
@@ -173,7 +180,24 @@ func (st *stats) snapshot(cacheEntries, queueDepth int) Stats {
 
 func (st *stats) admitted()  { st.add(func(s *Stats) { s.Requests++ }) }
 func (st *stats) completed() { st.add(func(s *Stats) { s.Completed++ }) }
-func (st *stats) shed()      { st.add(func(s *Stats) { s.Shed++ }) }
+
+// The shed counters: every shed bumps the total plus its reason.
+func (st *stats) shedQueueFull() { st.add(func(s *Stats) { s.Shed++; s.ShedQueueFull++ }) }
+func (st *stats) shedOverQuota() { st.add(func(s *Stats) { s.Shed++; s.ShedOverQuota++ }) }
+func (st *stats) shedExpired()   { st.add(func(s *Stats) { s.Shed++; s.ShedExpired++ }) }
+
+// forwardEstimate is the EDF batcher's service-time estimate: the mean
+// batched-forward latency observed so far, or zero before the first
+// flush (a fresh server has nothing better than "flush at the
+// deadline").
+func (st *stats) forwardEstimate() time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.s.ForwardFlushes == 0 {
+		return 0
+	}
+	return time.Duration(st.s.ForwardNs / int64(st.s.ForwardFlushes))
+}
 func (st *stats) cacheHit()  { st.add(func(s *Stats) { s.CacheHits++ }) }
 func (st *stats) cacheMiss() { st.add(func(s *Stats) { s.CacheMisses++ }) }
 func (st *stats) flightShared() {

@@ -23,6 +23,23 @@ import (
 	"capnn/internal/store"
 )
 
+// legacyWireRequest is the protocol-v1 frame shape — no QoS fields.
+// Gob matches fields by name, not by Go type, so frames encoded from
+// this struct are byte-faithful stand-ins for what pre-QoS clients
+// still send; keeping them in the corpus pins the decoder's backward
+// compatibility (missing fields must decode to zero: no deadline,
+// default tenant, interactive lane).
+type legacyWireRequest struct {
+	Version     int
+	Op          serve.Op
+	Variant     string
+	Classes     []int
+	Weights     []float64
+	Input       []float64
+	RouteKey    string
+	RingVersion uint64
+}
+
 func main() {
 	root := "."
 	if len(os.Args) > 1 {
@@ -38,6 +55,17 @@ func main() {
 		}),
 		"seed-default-variant": gobBytes(&serve.WireRequest{
 			Version: cloud.ProtocolVersion, Classes: []int{2, 3}, Input: []float64{1, 2, 3, 4},
+		}),
+		"seed-v1-legacy": gobBytes(&legacyWireRequest{
+			Version: 1, Variant: "M",
+			Classes: []int{0, 1}, Weights: []float64{2, 1},
+			Input: make([]float64, 16), RouteKey: "M/abc", RingVersion: 3,
+		}),
+		"seed-qos": gobBytes(&serve.WireRequest{
+			Version: cloud.ProtocolVersion, Variant: "M",
+			Classes: []int{1, 2}, Weights: []float64{4, 1},
+			Input: make([]float64, 16), RouteKey: "M/def", RingVersion: 7,
+			BudgetMicros: 250_000, Tenant: "batch", Lane: 1,
 		}),
 	})
 
