@@ -30,6 +30,7 @@ package capnn
 import (
 	"io"
 	"net"
+	"net/http"
 	"time"
 
 	"capnn/internal/baselines"
@@ -41,6 +42,8 @@ import (
 	"capnn/internal/faults"
 	"capnn/internal/firing"
 	"capnn/internal/hw"
+	"capnn/internal/metrics"
+	"capnn/internal/metrics/anomaly"
 	"capnn/internal/nn"
 	"capnn/internal/parallel"
 	"capnn/internal/qos"
@@ -450,6 +453,48 @@ const (
 	OpStats  = serve.OpStats
 	OpHealth = serve.OpHealth
 )
+
+// --- observability ------------------------------------------------------------
+
+// MetricsRegistry is the dependency-free metrics registry behind every
+// serving-tier stat: counters, gauges, labeled families, and latency
+// histograms with Prometheus text exposition (WritePrometheus) and a
+// human summary (WriteSummary). serve.Server and cluster.Gateway each
+// own one, reachable via their Metrics() accessors.
+type MetricsRegistry = metrics.Registry
+
+// EventLog is the bounded structured event ring (sheds, guard trips,
+// heals, failovers, breaker transitions, shard anomalies) behind
+// /debug/events; Events() on a server or gateway returns its log.
+type EventLog = metrics.EventLog
+
+// MetricsEvent is one structured observability event.
+type MetricsEvent = metrics.Event
+
+// NewMetricsMux mounts the standard observability surface — /metrics,
+// /debug/events, and a /debug index — over a registry and event log;
+// mount extra endpoints on it before serving.
+func NewMetricsMux(reg *MetricsRegistry, log *EventLog) *metrics.Mux {
+	return metrics.NewMux(reg, log)
+}
+
+// ServeMetrics serves an observability mux on addr in the background,
+// returning the bound address and a stop function.
+func ServeMetrics(addr string, h http.Handler) (string, func() error, error) {
+	return metrics.Serve(addr, h)
+}
+
+// AnomalyConfig tunes the gateway's per-shard anomaly detector
+// (GatewayConfig.Anomaly): rolling recent-vs-baseline windows over
+// QPS, forward latency, cache hit ratio, and guard-trip rate.
+type AnomalyConfig = anomaly.Config
+
+// AnomalyVerdict is one shard's current anomaly judgement.
+type AnomalyVerdict = anomaly.Verdict
+
+// ClusterView is the gateway's /debug/cluster document: membership,
+// per-node health, and live anomaly verdicts.
+type ClusterView = cluster.ClusterView
 
 // --- crash-safe state store ---------------------------------------------------
 

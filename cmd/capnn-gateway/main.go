@@ -28,6 +28,15 @@
 //
 //	capnn-gateway -state /var/lib/capnn/gateway -nodes ...
 //
+// With -metrics-addr the gateway mounts its HTTP observability
+// surface: /metrics (Prometheus text exposition of routing counters,
+// per-node breaker series, and the shard-anomaly gauge), /debug/events
+// (structured failovers, sheds, breaker transitions, shard anomalies),
+// /debug/cluster (membership, per-node health, and the anomaly
+// detector's live verdicts as JSON), and a /debug index:
+//
+//	capnn-gateway -metrics-addr 127.0.0.1:9878 -nodes ...
+//
 // Like the other binaries it can injure its own client-facing
 // transport for resilience testing (-chaos "seed=7,drop=0.1,..."). On
 // SIGINT/SIGTERM it drains: stops accepting, sheds new requests with
@@ -46,6 +55,7 @@ import (
 
 	"capnn/internal/cluster"
 	"capnn/internal/faults"
+	"capnn/internal/metrics"
 	"capnn/internal/qos"
 	"capnn/internal/store"
 )
@@ -104,6 +114,8 @@ func main() {
 	reqTimeout := flag.Duration("request-timeout", 30*time.Second, "end-to-end budget per client request across all failover attempts")
 	attemptTimeout := flag.Duration("attempt-timeout", 0, "budget per single node attempt (0 = request-timeout/2)")
 	chaos := flag.String("chaos", "", "client-facing fault-injection spec, e.g. seed=7,drop=0.1,latency=20ms")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP observability address serving /metrics, /debug/events and /debug/cluster (empty = disabled)")
+	collectEvery := flag.Duration("collect-every", 0, "shard-telemetry collection period for the anomaly detector (0 = default 2s, negative = disabled)")
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
 	stateDir := flag.String("state", "", "ring-config store directory: restore placement from the latest good generation and persist membership changes (empty = stateless)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight connections at shutdown")
@@ -146,6 +158,7 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		AttemptTimeout: *attemptTimeout,
 		Admission:      admission,
+		CollectEvery:   *collectEvery,
 	}
 	g, err := cluster.NewGateway(nodes, cfg)
 	if err != nil {
@@ -184,21 +197,20 @@ func main() {
 	fmt.Printf("capnn-gateway: routing %d nodes (ring v%d, replication %d, seed %d) on %s (Ctrl-C to stop)\n",
 		r.Len(), r.Version(), *replication, *seed, bound)
 
-	stop := make(chan struct{})
-	if *statsEvery > 0 {
-		go func() {
-			tick := time.NewTicker(*statsEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					fmt.Printf("capnn-gateway: %s\n", g.Stats())
-				case <-stop:
-					return
-				}
-			}
-		}()
+	if *metricsAddr != "" {
+		mux := metrics.NewMux(g.Metrics(), g.Events())
+		mux.Handle("/debug/cluster", metrics.JSONHandler(func() any { return g.ClusterView() }))
+		maddr, stopMetrics, err := metrics.Serve(*metricsAddr, mux)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-gateway: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = stopMetrics() }()
+		fmt.Printf("capnn-gateway: metrics on http://%s/metrics (index at /debug)\n", maddr)
 	}
+
+	stop := make(chan struct{})
+	metrics.PeriodicDump(os.Stdout, "capnn-gateway", *statsEvery, g.Metrics(), stop)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -208,5 +220,6 @@ func main() {
 		fmt.Fprintf(os.Stderr, "capnn-gateway: drain: %v\n", err)
 	}
 	fmt.Printf("capnn-gateway: final %s\n", g.Stats())
+	metrics.DumpSummary(os.Stdout, "capnn-gateway", "final", g.Metrics())
 	fmt.Println("capnn-gateway: stopped")
 }

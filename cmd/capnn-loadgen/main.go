@@ -24,12 +24,20 @@
 // With -scrape it instead fetches and prints a gateway's routing stats
 // (ring version, failovers, per-tenant admission, per-node breaker
 // states) and exits.
+//
+// With -json the run summary is emitted as a single machine-readable
+// JSON document on stdout (per-lane p50/p95/p99, QPS, sheds by reason)
+// while progress and human-readable lines move to stderr — so a
+// harness can `capnn-loadgen -json ... | jq .qps` without scraping
+// log text.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"sync"
@@ -104,6 +112,51 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 	return sorted[i]
 }
 
+// laneJSON is one lane's slice of the -json run summary.
+type laneJSON struct {
+	Lane          string  `json:"lane"`
+	Sent          uint64  `json:"sent"`
+	OK            uint64  `json:"ok"`
+	ShedOverQuota uint64  `json:"shed_over_quota"`
+	ShedExpired   uint64  `json:"shed_expired"`
+	Failed        uint64  `json:"failed"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+}
+
+// runJSON is the -json document: what the client population saw.
+type runJSON struct {
+	Target       string     `json:"target"`
+	Requests     uint64     `json:"requests"`
+	OK           uint64     `json:"ok"`
+	Shed         uint64     `json:"shed"`
+	Failed       uint64     `json:"failed"`
+	DurationMs   float64    `json:"duration_ms"`
+	QPS          float64    `json:"qps"`
+	Lanes        []laneJSON `json:"lanes"`
+	FirstFailure string     `json:"first_failure,omitempty"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func (r *laneReport) jsonSummary(lane qos.Lane) laneJSON {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Slice(r.lats, func(i, j int) bool { return r.lats[i] < r.lats[j] })
+	return laneJSON{
+		Lane:          lane.String(),
+		Sent:          r.sent,
+		OK:            r.ok,
+		ShedOverQuota: r.overQuota,
+		ShedExpired:   r.expired,
+		Failed:        r.failed,
+		P50Ms:         ms(percentile(r.lats, 0.50)),
+		P95Ms:         ms(percentile(r.lats, 0.95)),
+		P99Ms:         ms(percentile(r.lats, 0.99)),
+	}
+}
+
 func (r *laneReport) summary(lane qos.Lane) string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -126,12 +179,20 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	progressEvery := flag.Int("progress-every", 50, "print a progress line every N completed requests")
 	scrape := flag.Bool("scrape", false, "fetch and print the target gateway's routing stats, then exit")
+	jsonOut := flag.Bool("json", false, "emit the run summary as one JSON document on stdout (progress and human lines move to stderr)")
 	tenant := flag.String("tenant", "", "tenant for interactive traffic (empty = default)")
 	budget := flag.Duration("budget", 0, "per-request deadline budget for interactive traffic (0 = none)")
 	bulkFrac := flag.Float64("bulk-frac", 0, "fraction of requests sent on the bulk lane [0,1]")
 	bulkTenant := flag.String("bulk-tenant", "", "tenant for bulk traffic (empty = same as -tenant)")
 	bulkBudget := flag.Duration("bulk-budget", 0, "per-request deadline budget for bulk traffic (0 = none)")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON document; everything
+	// meant for humans (progress, lane summaries) moves to stderr.
+	var human io.Writer = os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
 
 	if *scrape {
 		st, err := cluster.ScrapeStats(*addr, *timeout)
@@ -186,6 +247,7 @@ func main() {
 	}
 
 	reports := [2]*laneReport{{}, {}} // indexed by qos.Lane
+	runStart := time.Now()
 	var sentTotal uint64
 	var totalMu sync.Mutex
 	firstFail := ""
@@ -236,21 +298,43 @@ func main() {
 				}
 				totalMu.Unlock()
 				if *progressEvery > 0 && s%uint64(*progressEvery) == 0 {
-					fmt.Printf("capnn-loadgen: progress %d/%d\n", s, *n)
+					fmt.Fprintf(human, "capnn-loadgen: progress %d/%d\n", s, *n)
 				}
 			}
 		}(w, base, share)
 	}
 	wg.Wait()
+	elapsed := time.Since(runStart)
 
 	okTotal := reports[0].ok + reports[1].ok
 	failedTotal := reports[0].failed + reports[1].failed
+	shedTotal := reports[0].overQuota + reports[0].expired + reports[1].overQuota + reports[1].expired
 	for lane, r := range reports {
 		if r.sent > 0 {
-			fmt.Println(r.summary(qos.Lane(lane)))
+			fmt.Fprintln(human, r.summary(qos.Lane(lane)))
 		}
 	}
-	fmt.Printf("capnn-loadgen: %d requests, %d ok, %d failed\n", sentTotal, okTotal, failedTotal)
+	fmt.Fprintf(human, "capnn-loadgen: %d requests, %d ok, %d failed\n", sentTotal, okTotal, failedTotal)
+	if *jsonOut {
+		doc := runJSON{
+			Target:       *addr,
+			Requests:     sentTotal,
+			OK:           okTotal,
+			Shed:         shedTotal,
+			Failed:       failedTotal,
+			DurationMs:   ms(elapsed),
+			QPS:          float64(sentTotal) / elapsed.Seconds(),
+			FirstFailure: firstFail,
+		}
+		for lane, r := range reports {
+			if r.sent > 0 {
+				doc.Lanes = append(doc.Lanes, r.jsonSummary(qos.Lane(lane)))
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	}
 	if failedTotal > 0 {
 		fmt.Fprintf(os.Stderr, "capnn-loadgen: first failure: %s\n", firstFail)
 		os.Exit(1)

@@ -22,6 +22,15 @@
 //
 //	capnn-serve -addr 127.0.0.1:7879 -chaos "seed=7,drop=0.1,latency=20ms"
 //
+// With -metrics-addr the server additionally mounts an HTTP
+// observability surface: /metrics (Prometheus text exposition of every
+// serving counter, gauge, and latency histogram), /debug/events (the
+// structured event log: sheds, guard trips, heals, breaker and
+// checkpoint transitions), /debug/stats (the Stats snapshot as JSON),
+// and a /debug index:
+//
+//	capnn-serve -metrics-addr 127.0.0.1:9879
+//
 // On SIGINT/SIGTERM the server drains: it stops accepting, sheds new
 // requests with busy, flushes in-flight micro-batches within
 // -drain-timeout, takes a final checkpoint, prints a stats snapshot
@@ -41,6 +50,7 @@ import (
 	"capnn/internal/core"
 	"capnn/internal/exp"
 	"capnn/internal/faults"
+	"capnn/internal/metrics"
 	"capnn/internal/serve"
 	"capnn/internal/store"
 )
@@ -58,6 +68,7 @@ func main() {
 	edfSlack := flag.Duration("edf-slack", 500*time.Microsecond, "safety pad under each request's deadline when scheduling its EDF flush")
 	bulkFrac := flag.Float64("bulk-queue-fraction", 0.5, "fraction of max-queue the bulk lane may fill before shedding over-quota (interactive keeps the rest)")
 	chaos := flag.String("chaos", "", "fault-injection spec, e.g. seed=7,drop=0.1,close=0.2,corrupt=0.2,latency=20ms")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP observability address serving /metrics, /debug/events and /debug/stats (empty = disabled)")
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
 	stateDir := flag.String("state", "", "checkpoint store directory: warm-start the mask cache from the latest good generation and checkpoint periodically (empty = stateless)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "with -state, commit a checkpoint this often")
@@ -186,21 +197,20 @@ func main() {
 	fmt.Printf("capnn-serve: serving %s (variant %s, batch %d/%v) on %s (Ctrl-C to stop)\n",
 		cfg.Name, v, *maxBatch, *maxWait, bound)
 
-	stop := make(chan struct{})
-	if *statsEvery > 0 {
-		go func() {
-			tick := time.NewTicker(*statsEvery)
-			defer tick.Stop()
-			for {
-				select {
-				case <-tick.C:
-					fmt.Printf("capnn-serve: %s\n", srv.Stats())
-				case <-stop:
-					return
-				}
-			}
-		}()
+	if *metricsAddr != "" {
+		mux := metrics.NewMux(srv.Metrics(), srv.Events())
+		mux.Handle("/debug/stats", metrics.JSONHandler(func() any { return srv.Stats() }))
+		maddr, stopMetrics, err := metrics.Serve(*metricsAddr, mux)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-serve: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() { _ = stopMetrics() }()
+		fmt.Printf("capnn-serve: metrics on http://%s/metrics (index at /debug)\n", maddr)
 	}
+
+	stop := make(chan struct{})
+	metrics.PeriodicDump(os.Stdout, "capnn-serve", *statsEvery, srv.Metrics(), stop)
 	if st != nil {
 		go func() {
 			tick := time.NewTicker(*ckptEvery)
@@ -225,5 +235,6 @@ func main() {
 	}
 	checkpoint()
 	fmt.Printf("capnn-serve: final %s\n", srv.Stats())
+	metrics.DumpSummary(os.Stdout, "capnn-serve", "final", srv.Metrics())
 	fmt.Println("capnn-serve: stopped")
 }

@@ -14,6 +14,8 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/core"
+	"capnn/internal/metrics"
+	"capnn/internal/metrics/anomaly"
 	"capnn/internal/qos"
 	"capnn/internal/serve"
 	"capnn/internal/store"
@@ -68,6 +70,14 @@ type Config struct {
 	// shed with CodeOverQuota and never reaches a shard. The zero value
 	// is unlimited everywhere — admission control off.
 	Admission qos.LimiterConfig
+
+	// CollectEvery is the shard-telemetry sampling period feeding the
+	// anomaly detector (OpStats scrape per member shard). Negative
+	// disables collection entirely (tests drive it manually). Default 2s.
+	CollectEvery time.Duration
+	// Anomaly tunes the per-shard degradation detector; zero fields take
+	// anomaly.DefaultConfig values.
+	Anomaly anomaly.Config
 }
 
 // DefaultConfig returns the production defaults.
@@ -85,6 +95,7 @@ func DefaultConfig() Config {
 		ReadTimeout:     30 * time.Second,
 		WriteTimeout:    30 * time.Second,
 		MaxRequestBytes: 1 << 20,
+		CollectEvery:    2 * time.Second,
 	}
 }
 
@@ -132,6 +143,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = d.MaxRequestBytes
 	}
+	if c.CollectEvery == 0 {
+		c.CollectEvery = d.CollectEvery
+	}
 	return c
 }
 
@@ -151,6 +165,9 @@ type nodeState struct {
 type Gateway struct {
 	cfg     Config
 	st      *gstats
+	reg     *metrics.Registry
+	events  *metrics.EventLog
+	obs     *observer
 	limiter *qos.Limiter
 
 	// ring is the immutable routing snapshot; memberMu serializes
@@ -184,9 +201,13 @@ func NewGateway(nodes []string, cfg Config) (*Gateway, error) {
 	if err != nil {
 		return nil, err
 	}
+	reg := metrics.NewRegistry()
+	events := metrics.NewEventLog(0)
 	g := &Gateway{
 		cfg:        cfg,
-		st:         &gstats{},
+		st:         newGstats(reg, events),
+		reg:        reg,
+		events:     events,
 		limiter:    qos.NewLimiter(cfg.Admission),
 		nodes:      map[string]*nodeState{},
 		proberStop: make(chan struct{}),
@@ -195,16 +216,90 @@ func NewGateway(nodes []string, cfg Config) (*Gateway, error) {
 	for _, n := range ring.Nodes() {
 		g.nodes[n] = g.newNodeState(n)
 	}
+	reg.GaugeFunc("capnn_gateway_ring_version", "Current membership version.", func() float64 {
+		return float64(g.ring.Load().Version())
+	})
+	reg.GaugeFunc("capnn_gateway_ring_members", "Current serve-node count.", func() float64 {
+		return float64(len(g.ring.Load().Nodes()))
+	})
+	reg.CounterFunc("capnn_gateway_events_total", "Structured events ever recorded (ring may have dropped old ones).", events.Total)
+	// Per-node health is a gather-time collector over the same
+	// nodeHealth snapshots Stats() reports — one source, two surfaces.
+	reg.Collector(func(emit metrics.Emit) {
+		g.nodesMu.RLock()
+		states := make([]*nodeState, 0, len(g.nodes))
+		for _, ns := range g.nodes {
+			states = append(states, ns)
+		}
+		g.nodesMu.RUnlock()
+		for _, ns := range states {
+			h := ns.health.snapshot()
+			ls := metrics.Labels{{Name: "node", Value: ns.addr}}
+			emit("capnn_gateway_node_state", "Node breaker state (0 closed, 1 half-open, 2 open).", metrics.KindGauge, ls, nodeStateValue(h.State))
+			emit("capnn_gateway_node_requests_total", "Routed attempts to this node.", metrics.KindCounter, ls, float64(h.Requests))
+			emit("capnn_gateway_node_failures_total", "Failed attempts (routed or probe).", metrics.KindCounter, ls, float64(h.Failures))
+			emit("capnn_gateway_node_probes_total", "Active health probes.", metrics.KindCounter, ls, float64(h.Probes))
+			emit("capnn_gateway_node_probe_failures_total", "Failed health probes.", metrics.KindCounter, ls, float64(h.ProbeFailures))
+			emit("capnn_gateway_node_opens_total", "Breaker transitions into open.", metrics.KindCounter, ls, float64(h.Opens))
+		}
+	})
+	g.obs = newObserver(g, cfg.Anomaly,
+		reg.GaugeVec("capnn_gateway_shard_anomaly", "1 while the anomaly detector flags the shard as degrading.", "node"))
 	g.proberWG.Add(1)
 	go g.probeLoop()
+	if cfg.CollectEvery > 0 {
+		g.proberWG.Add(1)
+		go g.collectLoop()
+	}
 	return g, nil
 }
 
+// nodeStateValue maps a breaker state onto the gauge scale.
+func nodeStateValue(s serve.BreakerState) float64 {
+	switch s {
+	case serve.BreakerHalfOpen:
+		return 1
+	case serve.BreakerOpen:
+		return 2
+	default:
+		return 0
+	}
+}
+
 func (g *Gateway) newNodeState(addr string) *nodeState {
+	h := newNodeHealth(g.cfg.FailThreshold, g.cfg.Cooldown)
+	h.onTransition = func(from, to serve.BreakerState) {
+		g.events.Record("node-breaker", addr, fmt.Sprintf("%s -> %s", from, to), nil)
+	}
 	return &nodeState{
 		addr:   addr,
-		health: newNodeHealth(g.cfg.FailThreshold, g.cfg.Cooldown),
+		health: h,
 		pool:   newNodePool(addr, g.cfg.DialTimeout, g.cfg.MaxIdlePerNode),
+	}
+}
+
+// Metrics is the gateway's telemetry registry — the source behind
+// Stats(), the /metrics exposition, and the stats dumps.
+func (g *Gateway) Metrics() *metrics.Registry { return g.reg }
+
+// Events is the gateway's structured event log (sheds, failovers,
+// node-breaker transitions, shard anomalies), exposed over
+// /debug/events.
+func (g *Gateway) Events() *metrics.EventLog { return g.events }
+
+// collectLoop drives shard-telemetry collection for the anomaly
+// detector until Shutdown.
+func (g *Gateway) collectLoop() {
+	defer g.proberWG.Done()
+	tick := time.NewTicker(g.cfg.CollectEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-g.proberStop:
+			return
+		case <-tick.C:
+		}
+		g.obs.collectOnce()
 	}
 }
 
@@ -418,7 +513,6 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 	if tenant == "" {
 		tenant = qos.DefaultTenant
 	}
-	tkey := tenant + "/" + lane.String()
 	key, err := RouteKey(req)
 	if err != nil {
 		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest, Err: err.Error()}
@@ -426,12 +520,12 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 	// Token-bucket admission runs before any backend work: an over-quota
 	// tenant costs the cluster one map lookup, not a shard round trip.
 	if !g.limiter.Allow(tenant, lane) {
-		g.st.tenantShed(tkey)
+		g.st.tenantShed(tenant, lane.String())
 		return &serve.WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOverQuota,
 			Err: fmt.Sprintf("tenant %q over %s-lane quota, retry with backoff", tenant, lane)}
 	}
 	g.st.admitted()
-	g.st.tenantAdmitted(tkey)
+	g.st.tenantAdmitted(tenant, lane.String())
 	req.RouteKey = key
 	// The failover budget is the client's remaining deadline capped by
 	// the gateway's own bound; before each hop the remainder is
@@ -497,7 +591,7 @@ func (g *Gateway) Route(req serve.WireRequest) *serve.WireResponse {
 			if attempts > 0 {
 				g.st.retried()
 				if addr != prevAddr {
-					g.st.failedOver()
+					g.st.failedOver(addr)
 				}
 			}
 			attempts++

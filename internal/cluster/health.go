@@ -24,6 +24,11 @@ type nodeHealth struct {
 	cooldown  time.Duration
 	now       func() time.Time // injectable for tests
 
+	// onTransition, when set (before first use), observes every state
+	// change — the gateway turns these into structured events. It is
+	// called outside the breaker lock.
+	onTransition func(from, to serve.BreakerState)
+
 	mu       sync.Mutex
 	state    serve.BreakerState
 	failures int // consecutive failures while closed
@@ -54,60 +59,74 @@ func newNodeHealth(threshold int, cooldown time.Duration) *nodeHealth {
 // rediscover a recovered node.
 func (h *nodeHealth) routable() bool {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	var transitioned, ok bool
 	switch h.state {
 	case serve.BreakerClosed:
-		return true
+		ok = true
 	case serve.BreakerOpen:
-		if h.now().Sub(h.openedAt) < h.cooldown {
-			return false
+		if h.now().Sub(h.openedAt) >= h.cooldown {
+			h.state = serve.BreakerHalfOpen
+			h.halfOpens++
+			h.probing = true
+			transitioned = true
+			ok = true
 		}
-		h.state = serve.BreakerHalfOpen
-		h.halfOpens++
-		h.probing = true
-		return true
 	default: // half-open
-		if h.probing {
-			return false // one trial at a time
+		if !h.probing {
+			h.probing = true
+			ok = true
 		}
-		h.probing = true
-		return true
 	}
+	fire := h.onTransition
+	h.mu.Unlock()
+	if transitioned && fire != nil {
+		fire(serve.BreakerOpen, serve.BreakerHalfOpen)
+	}
+	return ok
 }
 
 // record feeds one outcome (routed request or probe) into the state
 // machine.
 func (h *nodeHealth) record(ok bool) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if !ok {
 		h.nodeFailures++
 	}
+	var from, to serve.BreakerState
 	switch h.state {
 	case serve.BreakerHalfOpen:
 		h.probing = false
+		from = serve.BreakerHalfOpen
 		if ok {
 			h.state = serve.BreakerClosed
 			h.closes++
 			h.failures = 0
+			to = serve.BreakerClosed
 		} else {
 			h.state = serve.BreakerOpen
 			h.opens++
 			h.openedAt = h.now()
+			to = serve.BreakerOpen
 		}
 	case serve.BreakerClosed:
 		if ok {
 			h.failures = 0
-			return
-		}
-		h.failures++
-		if h.failures >= h.threshold {
-			h.state = serve.BreakerOpen
-			h.opens++
-			h.openedAt = h.now()
+		} else {
+			h.failures++
+			if h.failures >= h.threshold {
+				h.state = serve.BreakerOpen
+				h.opens++
+				h.openedAt = h.now()
+				from, to = serve.BreakerClosed, serve.BreakerOpen
+			}
 		}
 	default:
 		// Open: a straggler outcome from before the trip; ignore.
+	}
+	fire := h.onTransition
+	h.mu.Unlock()
+	if to != "" && fire != nil {
+		fire(from, to)
 	}
 }
 

@@ -1,0 +1,255 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"capnn/internal/metrics"
+	"capnn/internal/metrics/anomaly"
+	"capnn/internal/serve"
+)
+
+// Every metric the gateway registers must pass the repo-wide naming
+// lint — including the series emitted by the per-node collector, which
+// only exist at gather time.
+func TestGatewayMetricNamingLint(t *testing.T) {
+	nodes := startTestNodes(t, 2)
+	cfg := testGWConfig()
+	cfg.CollectEvery = -1
+	g, err := NewGateway(nodeAddrs(nodes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	fams := g.Metrics().Gather()
+	if len(fams) == 0 {
+		t.Fatal("no metric families registered")
+	}
+	sawNodeSeries := false
+	for _, fam := range fams {
+		if !metrics.ValidName(fam.Name) {
+			t.Errorf("metric %q fails the naming lint", fam.Name)
+		}
+		if fam.Kind == metrics.KindCounter && !strings.HasSuffix(fam.Name, "_total") {
+			t.Errorf("counter %q must end in _total", fam.Name)
+		}
+		if !strings.HasPrefix(fam.Name, "capnn_gateway_") {
+			t.Errorf("gateway metric %q missing capnn_gateway_ prefix", fam.Name)
+		}
+		if fam.Name == "capnn_gateway_node_state" && len(fam.Samples) == 2 {
+			sawNodeSeries = true
+		}
+	}
+	if !sawNodeSeries {
+		t.Error("per-node collector emitted no capnn_gateway_node_state series")
+	}
+	// The shed reasons are pre-seeded: a scrape before any shed must
+	// already carry all three series.
+	for _, fam := range fams {
+		if fam.Name == "capnn_gateway_shed_total" && len(fam.Samples) != 3 {
+			t.Errorf("shed family should hold 3 pre-seeded reasons, got %d", len(fam.Samples))
+		}
+	}
+}
+
+// syntheticShard fabricates the cumulative serve.Stats sequence of a
+// shard: healthy() intervals add fast forwards and a warm cache,
+// degraded() intervals add slow forwards and a cold cache — the
+// signature of a class-skew window.
+type syntheticShard struct {
+	st serve.Stats
+}
+
+func (s *syntheticShard) healthy() serve.Stats {
+	s.st.Completed += 100
+	s.st.ForwardFlushes += 50
+	s.st.ForwardNs += 50 * int64(4*time.Millisecond)
+	s.st.CacheHits += 90
+	s.st.CacheMisses += 10
+	return s.st
+}
+
+func (s *syntheticShard) degraded() serve.Stats {
+	s.st.Completed += 100
+	s.st.ForwardFlushes += 50
+	s.st.ForwardNs += 50 * int64(40*time.Millisecond)
+	s.st.CacheHits += 20
+	s.st.CacheMisses += 80
+	return s.st
+}
+
+// The acceptance scenario: a shard whose forward latency and cache hit
+// ratio degrade must be flagged — anomaly gauge raised, shard-anomaly
+// event recorded, /debug/cluster verdict present — while its health
+// breaker is still closed (probes against the live shard keep
+// succeeding; nothing has hard-failed yet).
+func TestAnomalyFlaggedBeforeBreakerOpens(t *testing.T) {
+	nodes := startTestNodes(t, 2)
+	cfg := testGWConfig()
+	cfg.CollectEvery = -1 // the test drives collection with a fake clock
+	g, err := NewGateway(nodeAddrs(nodes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	sick, well := nodes[0].addr, nodes[1].addr
+	shards := map[string]*syntheticShard{sick: {}, well: {}}
+	now := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	g.obs.now = func() time.Time { return now }
+	degrading := false
+	g.obs.scrape = func(ns *nodeState, _ time.Time) (serve.Stats, error) {
+		if ns.addr == sick && degrading {
+			return shards[ns.addr].degraded(), nil
+		}
+		return shards[ns.addr].healthy(), nil
+	}
+
+	// Establish a healthy baseline, one fake-second per interval.
+	det := anomaly.DefaultConfig()
+	for i := 0; i < det.Baseline+det.Recent+1; i++ {
+		g.obs.collectOnce()
+		now = now.Add(time.Second)
+	}
+	for addr, v := range g.obs.status() {
+		if v.Flagged {
+			t.Fatalf("healthy shard %s flagged during baseline: %s", addr, v)
+		}
+	}
+
+	// Degrade the sick shard and collect through the recent window.
+	degrading = true
+	for i := 0; i < det.Recent; i++ {
+		g.obs.collectOnce()
+		now = now.Add(time.Second)
+	}
+
+	status := g.obs.status()
+	if !status[sick].Flagged {
+		t.Fatalf("degrading shard not flagged: %s", status[sick])
+	}
+	if status[well].Flagged {
+		t.Fatalf("healthy shard flagged: %s", status[well])
+	}
+	reasons := strings.Join(status[sick].Reasons, "; ")
+	if !strings.Contains(reasons, "forward latency") || !strings.Contains(reasons, "hit ratio") {
+		t.Errorf("verdict should name both degraded signals: %q", reasons)
+	}
+
+	// Flagged BEFORE the breaker noticed anything: the shard is alive
+	// and probing green, so its health state must still be closed.
+	if st := g.Stats().Nodes[sick].State; st != serve.BreakerClosed {
+		t.Fatalf("sick shard's breaker is %s; the detector should fire while it is still closed", st)
+	}
+
+	// Surface 1: the gauge.
+	found := false
+	for _, fam := range g.Metrics().Gather() {
+		if fam.Name != "capnn_gateway_shard_anomaly" {
+			continue
+		}
+		for _, s := range fam.Samples {
+			if len(s.Labels) == 1 && s.Labels[0].Value == sick {
+				found = true
+				if s.Value != 1 {
+					t.Errorf("anomaly gauge for %s = %v, want 1", sick, s.Value)
+				}
+			} else if s.Value != 0 {
+				t.Errorf("anomaly gauge for %v = %v, want 0", s.Labels, s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("no capnn_gateway_shard_anomaly series for the sick shard")
+	}
+
+	// Surface 2: the event log.
+	var flaggedEvent bool
+	for _, e := range g.Events().Snapshot(0) {
+		if e.Type == "shard-anomaly" && e.Source == sick {
+			flaggedEvent = true
+			if !strings.Contains(e.Cause, "ANOMALOUS") {
+				t.Errorf("event cause should carry the verdict: %q", e.Cause)
+			}
+		}
+	}
+	if !flaggedEvent {
+		t.Error("no shard-anomaly event recorded")
+	}
+
+	// Surface 3: /debug/cluster.
+	view := g.ClusterView()
+	if v, ok := view.Anomalies[sick]; !ok || !v.Flagged {
+		t.Errorf("ClusterView anomalies = %+v, want %s flagged", view.Anomalies, sick)
+	}
+	if len(view.Nodes) != 2 || view.Members == nil {
+		t.Errorf("ClusterView incomplete: %+v", view)
+	}
+
+	// Recovery clears the flag and leaves a cleared event.
+	degrading = false
+	for i := 0; i < det.Baseline+det.Recent; i++ {
+		g.obs.collectOnce()
+		now = now.Add(time.Second)
+	}
+	if g.obs.status()[sick].Flagged {
+		t.Fatalf("shard still flagged after recovery: %s", g.obs.status()[sick])
+	}
+	var clearedEvent bool
+	for _, e := range g.Events().Snapshot(0) {
+		if e.Type == "shard-anomaly-cleared" && e.Source == sick {
+			clearedEvent = true
+		}
+	}
+	if !clearedEvent {
+		t.Error("no shard-anomaly-cleared event recorded")
+	}
+}
+
+// The real scrape path: collectOnce against live shards populates the
+// interval baseline without flagging anyone, and a scrape failure (dead
+// shard) skips the sample without touching the health breaker.
+func TestCollectOnceLiveScrape(t *testing.T) {
+	nodes := startTestNodes(t, 2)
+	cfg := testGWConfig()
+	cfg.CollectEvery = -1
+	g, err := NewGateway(nodeAddrs(nodes), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	f := getClusterFixture(t)
+	for u := 0; u < 8; u++ {
+		if resp := g.Route(f.inferRequest(u, u)); resp.Code.String() != "ok" {
+			t.Fatalf("route: [%s] %s", resp.Code, resp.Err)
+		}
+	}
+	g.obs.collectOnce()
+	g.obs.collectOnce()
+	g.obs.mu.Lock()
+	tracked := len(g.obs.prev)
+	g.obs.mu.Unlock()
+	if tracked != 2 {
+		t.Fatalf("observer tracks %d shards, want 2", tracked)
+	}
+	for addr, v := range g.obs.status() {
+		if v.Flagged {
+			t.Fatalf("live shard %s flagged: %s", addr, v)
+		}
+	}
+
+	// Sever one shard: the scrape fails, the sample is skipped, and the
+	// breaker (which only the prober and routed traffic feed) must not
+	// have been opened by the observer.
+	sick := nodes[0]
+	sick.part.SetPartitioned(true)
+	defer sick.part.SetPartitioned(false)
+	before := g.Stats().Nodes[sick.addr]
+	g.obs.collectOnce()
+	after := g.Stats().Nodes[sick.addr]
+	if after.Failures != before.Failures {
+		t.Errorf("observer scrape failure fed the health breaker: failures %d -> %d", before.Failures, after.Failures)
+	}
+}

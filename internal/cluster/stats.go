@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
+	"capnn/internal/metrics"
 	"capnn/internal/serve"
 )
 
@@ -109,62 +109,111 @@ func (s Stats) String() string {
 	return b.String()
 }
 
-// gstats is the live, locked accumulator behind Stats snapshots
-// (per-node counters live in each nodeHealth).
+// Gateway shed reason labels.
+const (
+	gwShedDraining  = "draining"
+	gwShedOverQuota = "over-quota"
+	gwShedExpired   = "expired"
+)
+
+// gstats is the live accumulator behind Stats snapshots. Like the serve
+// tier's stats it publishes straight into registry instruments, so a
+// Stats snapshot (OpStats scrape, SIGINT dump) and a /metrics scrape
+// always agree. Per-node counters live in each nodeHealth and are
+// exposed through a gather-time collector.
 type gstats struct {
-	mu sync.Mutex
-	s  Stats
+	reqC, compC, errC                *metrics.Counter
+	shedVec                          *metrics.CounterVec
+	retryC, failoverC, wrongOwnerC   *metrics.Counter
+	tenantAdmitVec, tenantShedVec    *metrics.CounterVec
+
+	events *metrics.EventLog
 }
 
-func (st *gstats) add(f func(*Stats)) {
-	st.mu.Lock()
-	f(&st.s)
-	st.mu.Unlock()
+func newGstats(reg *metrics.Registry, events *metrics.EventLog) *gstats {
+	st := &gstats{
+		reqC:    reg.Counter("capnn_gateway_requests_total", "Client requests admitted for routing."),
+		compC:   reg.Counter("capnn_gateway_completed_total", "Requests answered with CodeOK."),
+		errC:    reg.Counter("capnn_gateway_errors_total", "Requests that exhausted every attempt."),
+		shedVec: reg.CounterVec("capnn_gateway_shed_total", "Requests rejected before or during routing, by reason.", "reason"),
+
+		retryC:      reg.Counter("capnn_gateway_retries_total", "Extra attempts after the first."),
+		failoverC:   reg.Counter("capnn_gateway_failovers_total", "Retries that moved to a different node."),
+		wrongOwnerC: reg.Counter("capnn_gateway_wrong_owner_total", "Node-rejected attempts (wrong owner / ring changed)."),
+
+		tenantAdmitVec: reg.CounterVec("capnn_gateway_tenant_admitted_total", "Requests that passed a tenant's token bucket.", "tenant", "lane"),
+		tenantShedVec:  reg.CounterVec("capnn_gateway_tenant_shed_total", "Requests a tenant's token bucket refused.", "tenant", "lane"),
+
+		events: events,
+	}
+	// Pre-seed the shed reasons so the series exist before the first
+	// shed (the cluster smoke test greps a mid-load scrape for them).
+	for _, reason := range []string{gwShedDraining, gwShedOverQuota, gwShedExpired} {
+		st.shedVec.With(reason)
+	}
+	return st
 }
 
-func (st *gstats) admitted()   { st.add(func(s *Stats) { s.Requests++ }) }
-func (st *gstats) completed()  { st.add(func(s *Stats) { s.Completed++ }) }
-func (st *gstats) errored()    { st.add(func(s *Stats) { s.Errors++ }) }
-func (st *gstats) shedReq()    { st.add(func(s *Stats) { s.Shed++ }) }
-func (st *gstats) retried()    { st.add(func(s *Stats) { s.Retries++ }) }
-func (st *gstats) failedOver() { st.add(func(s *Stats) { s.Failovers++ }) }
-func (st *gstats) wrongOwner() { st.add(func(s *Stats) { s.WrongOwner++ }) }
+func (st *gstats) admitted()   { st.reqC.Inc() }
+func (st *gstats) completed()  { st.compC.Inc() }
+func (st *gstats) errored()    { st.errC.Inc() }
+func (st *gstats) retried()    { st.retryC.Inc() }
+func (st *gstats) wrongOwner() { st.wrongOwnerC.Inc() }
 
-func (st *gstats) shedExpired() { st.add(func(s *Stats) { s.Shed++; s.ShedExpired++ }) }
+func (st *gstats) failedOver(addr string) {
+	st.failoverC.Inc()
+	st.events.Record("failover", addr, "attempt failed, moved to next replica", nil)
+}
+
+func (st *gstats) shedReq() {
+	st.shedVec.With(gwShedDraining).Inc()
+	st.events.Record("shed", "", gwShedDraining, nil)
+}
+
+func (st *gstats) shedExpired() {
+	st.shedVec.With(gwShedExpired).Inc()
+	st.events.Record("shed", "", gwShedExpired, nil)
+}
 
 // tenantAdmitted / tenantShed record one (tenant, lane) admission
-// outcome; the shed path also bumps the gateway-wide over-quota counter.
-func (st *gstats) tenantAdmitted(key string) {
-	st.add(func(s *Stats) {
-		if s.Tenants == nil {
-			s.Tenants = map[string]TenantStats{}
-		}
-		ts := s.Tenants[key]
-		ts.Admitted++
-		s.Tenants[key] = ts
-	})
+// outcome; the shed path also bumps the gateway-wide over-quota series.
+func (st *gstats) tenantAdmitted(tenant, lane string) {
+	st.tenantAdmitVec.With(tenant, lane).Inc()
 }
 
-func (st *gstats) tenantShed(key string) {
-	st.add(func(s *Stats) {
-		s.Shed++
-		s.ShedOverQuota++
-		if s.Tenants == nil {
-			s.Tenants = map[string]TenantStats{}
-		}
-		ts := s.Tenants[key]
-		ts.ShedOverQuota++
-		s.Tenants[key] = ts
-	})
+func (st *gstats) tenantShed(tenant, lane string) {
+	st.shedVec.With(gwShedOverQuota).Inc()
+	st.tenantShedVec.With(tenant, lane).Inc()
+	st.events.Record("shed", tenant+"/"+lane, gwShedOverQuota, nil)
 }
 
 func (st *gstats) snapshot() Stats {
-	st.mu.Lock()
-	out := st.s
-	out.Tenants = make(map[string]TenantStats, len(st.s.Tenants))
-	for k, v := range st.s.Tenants {
-		out.Tenants[k] = v
+	out := Stats{
+		Requests:  st.reqC.Value(),
+		Completed: st.compC.Value(),
+		Errors:    st.errC.Value(),
+
+		ShedOverQuota: st.shedVec.With(gwShedOverQuota).Value(),
+		ShedExpired:   st.shedVec.With(gwShedExpired).Value(),
+
+		Retries:    st.retryC.Value(),
+		Failovers:  st.failoverC.Value(),
+		WrongOwner: st.wrongOwnerC.Value(),
+
+		Tenants: map[string]TenantStats{},
 	}
-	st.mu.Unlock()
+	out.Shed = st.shedVec.With(gwShedDraining).Value() + out.ShedOverQuota + out.ShedExpired
+	st.tenantAdmitVec.Each(func(values []string, n uint64) {
+		key := values[0] + "/" + values[1]
+		ts := out.Tenants[key]
+		ts.Admitted = n
+		out.Tenants[key] = ts
+	})
+	st.tenantShedVec.Each(func(values []string, n uint64) {
+		key := values[0] + "/" + values[1]
+		ts := out.Tenants[key]
+		ts.ShedOverQuota = n
+		out.Tenants[key] = ts
+	})
 	return out
 }

@@ -1,0 +1,386 @@
+// Package anomaly scores per-shard serving health against its own
+// recent history — the SECS-style class-skew-window detector the
+// ROADMAP's observability tier calls for. The gateway samples each
+// shard on a fixed cadence (interval QPS, interval mean forward
+// latency, interval hit ratio, guard-trip rate) and feeds the samples
+// here; the detector compares a short recent window against a longer
+// trailing baseline and flags a shard whose signals degrade — latency
+// blow-up, hit-ratio collapse, repersonalization churn, throughput
+// collapse — *before* hard failures open its health breaker. A flagged
+// shard is a shard entering a skew window or dying slowly; the breaker
+// only catches the second kind, and only after clients felt it.
+//
+// The detector is deliberately clock-free: windows are counted in
+// samples, so tests drive it with a fake cadence and production feeds
+// it from a ticker. All methods are safe for concurrent use.
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Sample is one shard's interval telemetry (deltas over one collection
+// period, not cumulative totals).
+type Sample struct {
+	// QPS is completed requests per second over the interval.
+	QPS float64
+	// Latency is the interval's mean batched-forward latency.
+	Latency time.Duration
+	// HitRatio is the interval's mask-cache hit fraction; NaN when the
+	// interval saw no cache lookups (the signal is skipped, not zero —
+	// an idle shard is not a degraded shard).
+	HitRatio float64
+	// GuardTrips is ε-guard trips per second over the interval.
+	GuardTrips float64
+}
+
+// Config tunes the detector. Zero fields take DefaultConfig values.
+type Config struct {
+	// Recent is the judged window length in samples; Baseline is the
+	// trailing history it is compared against. MinBaseline defers
+	// judgement until that many baseline samples exist, so a fresh shard
+	// is never scored against noise. Defaults 3 / 12 / 6.
+	Recent, Baseline, MinBaseline int
+
+	// LatencyFactor flags recent mean latency ≥ factor × baseline
+	// (default 2.5); latency below MinLatency never contributes
+	// (default 2ms — queue jitter on an idle shard is not degradation).
+	LatencyFactor float64
+	MinLatency    time.Duration
+
+	// HitRatioDrop flags an absolute hit-ratio drop vs baseline
+	// (default 0.25): mask-cache locality collapsing is the leading
+	// signature of a class-skew window or a cold restarted shard.
+	HitRatioDrop float64
+
+	// QPSCollapse flags recent QPS ≤ fraction × baseline (default 0.4)
+	// when the baseline was at least MinQPS (default 1/s): a shard that
+	// stops completing work while still answering probes.
+	QPSCollapse float64
+	MinQPS      float64
+
+	// GuardTripFactor flags recent guard trips/s ≥ factor × baseline
+	// (default 4) once they exceed MinGuardTrips/s (default 0.2):
+	// repersonalization churn, SECS's skew-dichotomy signal.
+	GuardTripFactor float64
+	MinGuardTrips   float64
+
+	// FlagScore is the combined score that flags a shard (default 1:
+	// any single signal fully tripping suffices); ClearScore is the
+	// hysteresis floor a flagged shard must fall under to clear
+	// (default 0.5).
+	FlagScore, ClearScore float64
+}
+
+// DefaultConfig returns the production thresholds.
+func DefaultConfig() Config {
+	return Config{
+		Recent:          3,
+		Baseline:        12,
+		MinBaseline:     6,
+		LatencyFactor:   2.5,
+		MinLatency:      2 * time.Millisecond,
+		HitRatioDrop:    0.25,
+		QPSCollapse:     0.4,
+		MinQPS:          1,
+		GuardTripFactor: 4,
+		MinGuardTrips:   0.2,
+		FlagScore:       1,
+		ClearScore:      0.5,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Recent <= 0 {
+		c.Recent = d.Recent
+	}
+	if c.Baseline <= 0 {
+		c.Baseline = d.Baseline
+	}
+	if c.MinBaseline <= 0 {
+		c.MinBaseline = d.MinBaseline
+	}
+	if c.MinBaseline > c.Baseline {
+		c.MinBaseline = c.Baseline
+	}
+	if c.LatencyFactor <= 1 {
+		c.LatencyFactor = d.LatencyFactor
+	}
+	if c.MinLatency <= 0 {
+		c.MinLatency = d.MinLatency
+	}
+	if c.HitRatioDrop <= 0 {
+		c.HitRatioDrop = d.HitRatioDrop
+	}
+	if c.QPSCollapse <= 0 || c.QPSCollapse >= 1 {
+		c.QPSCollapse = d.QPSCollapse
+	}
+	if c.MinQPS <= 0 {
+		c.MinQPS = d.MinQPS
+	}
+	if c.GuardTripFactor <= 1 {
+		c.GuardTripFactor = d.GuardTripFactor
+	}
+	if c.MinGuardTrips <= 0 {
+		c.MinGuardTrips = d.MinGuardTrips
+	}
+	if c.FlagScore <= 0 {
+		c.FlagScore = d.FlagScore
+	}
+	if c.ClearScore <= 0 || c.ClearScore >= c.FlagScore {
+		c.ClearScore = d.ClearScore
+		if c.ClearScore >= c.FlagScore {
+			c.ClearScore = c.FlagScore / 2
+		}
+	}
+	return c
+}
+
+// Transition reports what an Observe call changed.
+type Transition int
+
+const (
+	// TransitionNone: the shard's flagged state did not change.
+	TransitionNone Transition = iota
+	// TransitionFlagged: the shard just crossed into anomalous.
+	TransitionFlagged
+	// TransitionCleared: a flagged shard just recovered.
+	TransitionCleared
+)
+
+func (t Transition) String() string {
+	switch t {
+	case TransitionFlagged:
+		return "flagged"
+	case TransitionCleared:
+		return "cleared"
+	default:
+		return "none"
+	}
+}
+
+// Verdict is the detector's judgement of one shard after a sample.
+type Verdict struct {
+	// Flagged reports whether the shard is currently anomalous.
+	Flagged bool `json:"flagged"`
+	// Score is the combined anomaly score (≥ FlagScore trips the flag).
+	Score float64 `json:"score"`
+	// Reasons name each contributing signal, human-readable.
+	Reasons []string `json:"reasons,omitempty"`
+	// Transition reports whether this sample flipped the flag.
+	Transition Transition `json:"-"`
+}
+
+// shardState is one shard's rolling sample history plus flag state.
+type shardState struct {
+	samples []Sample // ring, oldest-first once full
+	next    int
+	full    bool
+	flagged bool
+	last    Verdict
+}
+
+// Detector scores shards. One Detector serves a whole cluster; shards
+// are keyed by address.
+type Detector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	shards map[string]*shardState
+}
+
+// New builds a detector.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), shards: map[string]*shardState{}}
+}
+
+// Config returns the resolved thresholds (for /debug surfaces).
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe feeds one shard sample and returns the updated verdict.
+func (d *Detector) Observe(shard string, s Sample) Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st, ok := d.shards[shard]
+	if !ok {
+		st = &shardState{samples: make([]Sample, d.cfg.Recent+d.cfg.Baseline)}
+		d.shards[shard] = st
+	}
+	st.samples[st.next] = s
+	st.next++
+	if st.next == len(st.samples) {
+		st.next = 0
+		st.full = true
+	}
+	v := d.judge(st)
+	switch {
+	case v.Flagged && !st.flagged:
+		v.Transition = TransitionFlagged
+	case !v.Flagged && st.flagged:
+		v.Transition = TransitionCleared
+	}
+	st.flagged = v.Flagged
+	st.last = v
+	return v
+}
+
+// ordered returns the shard's samples oldest-first.
+func (st *shardState) ordered() []Sample {
+	if !st.full {
+		return st.samples[:st.next]
+	}
+	out := make([]Sample, 0, len(st.samples))
+	out = append(out, st.samples[st.next:]...)
+	return append(out, st.samples[:st.next]...)
+}
+
+// judge scores the recent window against the trailing baseline.
+func (d *Detector) judge(st *shardState) Verdict {
+	c := d.cfg
+	all := st.ordered()
+	if len(all) < c.Recent+c.MinBaseline {
+		return Verdict{Flagged: st.flagged} // not enough history yet
+	}
+	recent := all[len(all)-c.Recent:]
+	baseline := all[:len(all)-c.Recent]
+
+	v := Verdict{}
+	// Latency blow-up.
+	recLat := meanLatency(recent)
+	baseLat := meanLatency(baseline)
+	if baseLat > 0 && recLat >= c.MinLatency {
+		if ratio := float64(recLat) / float64(baseLat); ratio >= c.LatencyFactor {
+			v.Score += ratio / c.LatencyFactor
+			v.Reasons = append(v.Reasons, fmt.Sprintf(
+				"forward latency %v is %.1fx the %v baseline", recLat.Round(time.Microsecond), ratio, baseLat.Round(time.Microsecond)))
+		}
+	}
+	// Hit-ratio collapse.
+	recHit, recOK := meanHitRatio(recent)
+	baseHit, baseOK := meanHitRatio(baseline)
+	if recOK && baseOK {
+		if drop := baseHit - recHit; drop >= c.HitRatioDrop {
+			v.Score += drop / c.HitRatioDrop
+			v.Reasons = append(v.Reasons, fmt.Sprintf(
+				"hit ratio fell %.2f (%.2f -> %.2f)", drop, baseHit, recHit))
+		}
+	}
+	// Throughput collapse (while the shard still answers probes).
+	recQPS := meanQPS(recent)
+	baseQPS := meanQPS(baseline)
+	if baseQPS >= c.MinQPS && recQPS <= c.QPSCollapse*baseQPS {
+		frac := 0.0
+		if baseQPS > 0 {
+			frac = recQPS / baseQPS
+		}
+		v.Score += (c.QPSCollapse - frac) / c.QPSCollapse
+		v.Reasons = append(v.Reasons, fmt.Sprintf(
+			"qps collapsed to %.1f from %.1f baseline", recQPS, baseQPS))
+	}
+	// Repersonalization churn.
+	recTrips := meanTrips(recent)
+	baseTrips := meanTrips(baseline)
+	if recTrips >= c.MinGuardTrips && recTrips >= c.GuardTripFactor*baseTrips {
+		contribution := 1.0
+		if baseTrips > 0 {
+			contribution = (recTrips / baseTrips) / c.GuardTripFactor
+		}
+		v.Score += contribution
+		v.Reasons = append(v.Reasons, fmt.Sprintf(
+			"guard trips %.2f/s vs %.2f/s baseline", recTrips, baseTrips))
+	}
+
+	if st.flagged {
+		v.Flagged = v.Score >= c.ClearScore // hysteresis: stay flagged until well clear
+	} else {
+		v.Flagged = v.Score >= c.FlagScore
+	}
+	sort.Strings(v.Reasons)
+	return v
+}
+
+// Forget drops a shard's history (node departed the ring).
+func (d *Detector) Forget(shard string) {
+	d.mu.Lock()
+	delete(d.shards, shard)
+	d.mu.Unlock()
+}
+
+// Status returns the latest verdict per shard.
+func (d *Detector) Status() map[string]Verdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]Verdict, len(d.shards))
+	for k, st := range d.shards {
+		out[k] = st.last
+	}
+	return out
+}
+
+// String renders a verdict compactly for events and logs.
+func (v Verdict) String() string {
+	state := "ok"
+	if v.Flagged {
+		state = "ANOMALOUS"
+	}
+	if len(v.Reasons) == 0 {
+		return fmt.Sprintf("%s score=%.2f", state, v.Score)
+	}
+	return fmt.Sprintf("%s score=%.2f: %s", state, v.Score, strings.Join(v.Reasons, "; "))
+}
+
+func meanLatency(ss []Sample) time.Duration {
+	if len(ss) == 0 {
+		return 0
+	}
+	total := time.Duration(0)
+	for _, s := range ss {
+		total += s.Latency
+	}
+	return total / time.Duration(len(ss))
+}
+
+func meanQPS(ss []Sample) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range ss {
+		total += s.QPS
+	}
+	return total / float64(len(ss))
+}
+
+func meanTrips(ss []Sample) float64 {
+	if len(ss) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, s := range ss {
+		total += s.GuardTrips
+	}
+	return total / float64(len(ss))
+}
+
+// meanHitRatio averages hit ratios over the samples that had lookups;
+// ok is false when none did.
+func meanHitRatio(ss []Sample) (mean float64, ok bool) {
+	total, n := 0.0, 0
+	for _, s := range ss {
+		if math.IsNaN(s.HitRatio) {
+			continue
+		}
+		total += s.HitRatio
+		n++
+	}
+	if n == 0 {
+		return 0, false
+	}
+	return total / float64(n), true
+}

@@ -37,6 +37,11 @@ type breaker struct {
 	cooldown    time.Duration
 	now         func() time.Time // injectable for tests
 
+	// onTransition, when set (before first use), observes every state
+	// change — the serving layer turns these into structured events. It
+	// is called outside the breaker lock.
+	onTransition func(from, to BreakerState)
+
 	mu       sync.Mutex
 	state    BreakerState
 	recent   []bool // rolling outcome window, true = failure
@@ -65,42 +70,51 @@ func newBreaker(failureRate float64, window, minSamples int, cooldown time.Durat
 // attempt that was allowed must later call record.
 func (b *breaker) allow() bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var transitioned bool
+	var ok bool
 	switch b.state {
 	case BreakerClosed:
-		return true
+		ok = true
 	case BreakerOpen:
-		if b.now().Sub(b.openedAt) < b.cooldown {
-			return false
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.halfOpens++
+			b.probing = true
+			transitioned = true
+			ok = true
 		}
-		b.state = BreakerHalfOpen
-		b.halfOpens++
-		b.probing = true
-		return true
 	default: // half-open
-		if b.probing {
-			return false // one probe at a time
+		if !b.probing {
+			b.probing = true
+			ok = true
 		}
-		b.probing = true
-		return true
 	}
+	fire := b.onTransition
+	b.mu.Unlock()
+	if transitioned && fire != nil {
+		fire(BreakerOpen, BreakerHalfOpen)
+	}
+	return ok
 }
 
 // record reports an allowed attempt's outcome.
 func (b *breaker) record(ok bool) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var from, to BreakerState
 	switch b.state {
 	case BreakerHalfOpen:
 		b.probing = false
+		from = BreakerHalfOpen
 		if ok {
 			b.state = BreakerClosed
 			b.closes++
 			b.clearWindowLocked()
+			to = BreakerClosed
 		} else {
 			b.state = BreakerOpen
 			b.opens++
 			b.openedAt = b.now()
+			to = BreakerOpen
 		}
 	case BreakerClosed:
 		b.recent[b.next] = !ok
@@ -119,11 +133,17 @@ func (b *breaker) record(ok bool) {
 				b.state = BreakerOpen
 				b.opens++
 				b.openedAt = b.now()
+				from, to = BreakerClosed, BreakerOpen
 			}
 		}
 	default:
 		// Open: a straggler attempt allowed before the trip finished;
 		// its outcome no longer matters.
+	}
+	fire := b.onTransition
+	b.mu.Unlock()
+	if to != "" && fire != nil {
+		fire(from, to)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 
 	"capnn/internal/cloud"
 	"capnn/internal/core"
+	"capnn/internal/metrics"
 	"capnn/internal/qos"
 	"capnn/internal/tensor"
 )
@@ -240,11 +241,13 @@ type Result struct {
 // never mutated while serving, so any number of groups forward
 // concurrently, each under its own cached mask.
 type Server struct {
-	sys   *core.System
-	cfg   Config
-	st    *stats
-	cache *maskCache
-	batch *batcher
+	sys    *core.System
+	cfg    Config
+	st     *stats
+	reg    *metrics.Registry
+	events *metrics.EventLog
+	cache  *maskCache
+	batch  *batcher
 
 	// personalizeMu serializes System.Prune runs: the pruning algorithms
 	// share the system's suffix evaluator and mutate masks on the shared
@@ -289,19 +292,66 @@ func NewServer(sys *core.System) *Server { return NewServerWith(sys, Config{}) }
 // NewServerWith wraps a prepared system with explicit limits.
 func NewServerWith(sys *core.System, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	st := newStats()
+	reg := metrics.NewRegistry()
+	events := metrics.NewEventLog(0)
+	st := newStatsOn(reg, events)
 	bulkMax := int(float64(cfg.MaxQueue) * cfg.BulkQueueFraction)
 	if bulkMax < 1 {
 		bulkMax = 1
 	}
-	return &Server{
+	s := &Server{
 		sys:     sys,
 		cfg:     cfg,
 		st:      st,
+		reg:     reg,
+		events:  events,
 		cache:   newMaskCache(cfg.CacheCap, st),
 		batch:   newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, bulkMax, cfg.Workers, cfg.EDFSlack, st),
 		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
+	}
+	// Breaker transitions become structured events; the counters come
+	// from the breaker's own snapshot below — one source, two surfaces.
+	s.breaker.onTransition = func(from, to BreakerState) {
+		events.Record("breaker", "repersonalize", fmt.Sprintf("%s -> %s", from, to), nil)
+	}
+	// Instantaneous state that already lives in a component is exposed
+	// func-backed at gather time rather than double-accounted.
+	reg.GaugeFunc("capnn_serve_queue_depth", "Admitted requests not yet completed.", func() float64 {
+		return float64(s.batch.depth())
+	})
+	reg.GaugeFunc("capnn_serve_cache_entries", "Resident mask-cache entries.", func() float64 {
+		return float64(s.cache.len())
+	})
+	reg.GaugeFunc("capnn_serve_breaker_state", "Repersonalization breaker state (0 closed, 1 half-open, 2 open).", func() float64 {
+		state, _, _, _ := s.breaker.snapshot()
+		return breakerStateValue(state)
+	})
+	reg.CounterFunc("capnn_serve_breaker_opens_total", "Breaker transitions into open.", func() uint64 {
+		_, opens, _, _ := s.breaker.snapshot()
+		return opens
+	})
+	reg.CounterFunc("capnn_serve_breaker_closes_total", "Breaker transitions into closed.", func() uint64 {
+		_, _, closes, _ := s.breaker.snapshot()
+		return closes
+	})
+	reg.CounterFunc("capnn_serve_breaker_half_opens_total", "Breaker transitions into half-open.", func() uint64 {
+		_, _, _, halfOpens := s.breaker.snapshot()
+		return halfOpens
+	})
+	reg.CounterFunc("capnn_serve_events_total", "Structured events ever recorded (ring may have dropped old ones).", events.Total)
+	return s
+}
+
+// breakerStateValue maps a breaker state onto the gauge scale.
+func breakerStateValue(s BreakerState) float64 {
+	switch s {
+	case BreakerHalfOpen:
+		return 1
+	case BreakerOpen:
+		return 2
+	default:
+		return 0
 	}
 }
 
@@ -331,6 +381,16 @@ func (s *Server) Stats() Stats {
 	out.BreakerState, out.BreakerOpens, out.BreakerCloses, out.BreakerHalfOpens = s.breaker.snapshot()
 	return out
 }
+
+// Metrics is the server's telemetry registry — the source behind
+// Stats(), the /metrics exposition, and the stats dumps. Callers may
+// register additional instruments (the cmd layer adds process-level
+// ones) but must not re-register serve names.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Events is the server's structured event log (sheds, guard trips,
+// heals, breaker transitions, checkpoints), exposed over /debug/events.
+func (s *Server) Events() *metrics.EventLog { return s.events }
 
 // QoS is one request's quality-of-service envelope: the absolute
 // deadline its caller needs the answer by (zero = none; the server's
@@ -438,6 +498,7 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64, q Qo
 		class := tensor.Argmax(out.logits)
 		if unpruned && entry.guard != nil && entry.guard.observe(class) {
 			s.st.guardTripped()
+			s.events.Record("guard-trip", entry.key, "estimated degradation beyond epsilon", nil)
 			s.scheduleHeal(entry)
 		}
 		return Result{
@@ -541,6 +602,7 @@ func (s *Server) heal(entry *maskEntry) {
 					s.breaker.record(true)
 					s.cache.install(fresh)
 					s.st.healed()
+					s.events.Record("heal", entry.key, "repersonalized against observed class mix", nil)
 					if s.hookHealed != nil {
 						s.hookHealed(entry.key, prefs)
 					}
@@ -549,6 +611,7 @@ func (s *Server) heal(entry *maskEntry) {
 			}
 			s.breaker.record(false)
 			s.st.healFailed()
+			s.events.Record("heal-failed", entry.key, healCause(err), nil)
 		}
 		select {
 		case <-s.drainCh:
@@ -556,6 +619,14 @@ func (s *Server) heal(entry *maskEntry) {
 		case <-time.After(s.cfg.HealBackoff):
 		}
 	}
+}
+
+// healCause renders a heal failure for the event log.
+func healCause(err error) string {
+	if err == nil {
+		return "unknown"
+	}
+	return err.Error()
 }
 
 func (s *Server) isDraining() bool {

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"capnn/internal/metrics"
 )
 
 // Stats is a point-in-time snapshot of a Server's serving metrics — the
@@ -42,9 +44,19 @@ type Stats struct {
 	// Per-stage cumulative latencies with their sample counts:
 	// Personalize covers System.Prune runs (cache misses only),
 	// QueueWait covers submit→flush per request, Forward covers the
-	// batched masked forward per group.
+	// batched masked forward per group. The totals are derived from the
+	// registry's per-stage histograms (integer nanoseconds accumulate
+	// exactly in a float64 sum), so this snapshot and a /metrics scrape
+	// report the same numbers.
 	PersonalizeNs, QueueWaitNs, ForwardNs         int64
 	PersonalizeRuns, QueueWaitObs, ForwardFlushes uint64
+
+	// Estimated per-stage tail latencies, interpolated from the same
+	// histograms a /metrics scrape exposes (zero when the stage never
+	// ran).
+	PersonalizeP99                 time.Duration
+	QueueWaitP99                   time.Duration
+	ForwardP50, ForwardP95, ForwardP99 time.Duration
 
 	// Self-healing: GuardTrips counts ε-guard trips (one per tripped
 	// entry); FallbackServed counts requests served through the
@@ -116,8 +128,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "cache: hits=%d misses=%d shared=%d evictions=%d entries=%d hit-ratio=%.3f\n",
 		s.CacheHits, s.CacheMisses, s.SingleflightShared, s.CacheEvictions, s.CacheEntries, s.HitRatio())
 	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
-	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v\n",
-		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward())
+	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v forward-p99=%v\n",
+		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward(), s.ForwardP99.Round(time.Microsecond))
 	fmt.Fprintf(&b, "guard: trips=%d fallback-served=%d heals=%d heal-failures=%d\n",
 		s.GuardTrips, s.FallbackServed, s.Heals, s.HealFailures)
 	fmt.Fprintf(&b, "breaker: state=%s opens=%d closes=%d half-opens=%d\n",
@@ -149,106 +161,217 @@ func (s Stats) histogram() string {
 	return "{" + strings.Join(parts, " ") + "}"
 }
 
-// stats is the live, locked accumulator behind Stats snapshots. A plain
-// mutex keeps the histogram and multi-field updates consistent; every
-// update is far off the forward pass's critical path.
+// Shed reason labels, shared by the counter family, shed events, and
+// the gateway's per-tenant accounting.
+const (
+	shedReasonQueueFull = "queue-full"
+	shedReasonOverQuota = "over-quota"
+	shedReasonExpired   = "expired"
+)
+
+// stats is the live accumulator behind Stats snapshots. It publishes
+// straight into metrics instruments — the same series /metrics exposes —
+// so a Stats snapshot, a SIGINT dump, and a Prometheus scrape can never
+// disagree. Only state with no instrument shape (the exact batch-size
+// map, checkpoint identity) stays under the local mutex.
 type stats struct {
-	mu           sync.Mutex
-	s            Stats
-	checkpointAt time.Time // commit time of the last checkpoint
+	reg    *metrics.Registry
+	events *metrics.EventLog
+
+	reqC, compC                    *metrics.Counter
+	shedVec                        *metrics.CounterVec
+	hitC, missC, sharedC, evictC   *metrics.Counter
+	batchH                         *metrics.Histogram
+	persH, waitH, fwdH             *metrics.Histogram
+	guardC, fallbackC              *metrics.Counter
+	healC, healFailC               *metrics.Counter
+	ckptErrC                       *metrics.Counter
+
+	mu                sync.Mutex
+	batchSizes        map[int]uint64 // exact flushed-size histogram (buckets would lose sizes)
+	checkpointGen     int
+	checkpointAt      time.Time // commit time of the last checkpoint
+	lastCheckpointErr string
 }
 
+// newStats builds an accumulator on a private registry — unit tests and
+// embedded uses that never scrape.
 func newStats() *stats {
-	return &stats{s: Stats{BatchHistogram: map[int]uint64{}}}
+	return newStatsOn(metrics.NewRegistry(), metrics.NewEventLog(0))
+}
+
+// newStatsOn builds the accumulator's instruments on the given registry
+// and routes its events to the given log.
+func newStatsOn(reg *metrics.Registry, events *metrics.EventLog) *stats {
+	st := &stats{
+		reg:    reg,
+		events: events,
+
+		reqC:    reg.Counter("capnn_serve_requests_total", "Admitted inference requests."),
+		compC:   reg.Counter("capnn_serve_completed_total", "Requests that produced a response."),
+		shedVec: reg.CounterVec("capnn_serve_shed_total", "Requests shed with a typed code, by reason.", "reason"),
+		hitC:    reg.Counter("capnn_serve_cache_hits_total", "Mask-cache hits."),
+		missC:   reg.Counter("capnn_serve_cache_misses_total", "Mask-cache misses (each runs a personalization)."),
+		sharedC: reg.Counter("capnn_serve_singleflight_shared_total", "Lookups that joined an in-flight personalization."),
+		evictC:  reg.Counter("capnn_serve_cache_evictions_total", "Mask-cache LRU evictions."),
+		batchH:  reg.Histogram("capnn_serve_batch_size", "Flushed micro-batch group sizes.", metrics.BatchSizeBuckets()),
+		persH:   reg.Histogram("capnn_serve_personalize_latency_ns", "System.Prune latency per cache fill.", metrics.LatencyBucketsNs()),
+		waitH:   reg.Histogram("capnn_serve_queue_wait_ns", "Per-request submit-to-flush queue wait.", metrics.LatencyBucketsNs()),
+		fwdH:    reg.Histogram("capnn_serve_forward_latency_ns", "Batched masked forward latency per group flush.", metrics.LatencyBucketsNs()),
+
+		guardC:    reg.Counter("capnn_serve_guard_trips_total", "Epsilon-guard trips (one per tripped entry)."),
+		fallbackC: reg.Counter("capnn_serve_fallback_served_total", "Requests served through the unpruned network after a trip."),
+		healC:     reg.Counter("capnn_serve_heals_total", "Repersonalizations published by the heal path."),
+		healFailC: reg.Counter("capnn_serve_heal_failures_total", "Failed heal attempts (breaker-recorded)."),
+		ckptErrC:  reg.Counter("capnn_serve_checkpoint_errors_total", "Failed checkpoint attempts."),
+
+		batchSizes: map[int]uint64{},
+	}
+	// Pre-seed every shed reason so the series exist in a scrape before
+	// the first shed (the cluster smoke test greps for them mid-load).
+	for _, reason := range []string{shedReasonQueueFull, shedReasonOverQuota, shedReasonExpired} {
+		st.shedVec.With(reason)
+	}
+	reg.GaugeFunc("capnn_serve_checkpoint_generation", "Last committed checkpoint generation (0 = never).", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return float64(st.checkpointGen)
+	})
+	reg.GaugeFunc("capnn_serve_checkpoint_age_seconds", "Age of the last committed checkpoint.", func() float64 {
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.checkpointAt.IsZero() {
+			return 0
+		}
+		return time.Since(st.checkpointAt).Seconds()
+	})
+	return st
 }
 
 func (st *stats) snapshot(cacheEntries, queueDepth int) Stats {
+	pers := st.persH.Snapshot()
+	wait := st.waitH.Snapshot()
+	fwd := st.fwdH.Snapshot()
+	out := Stats{
+		Requests:  st.reqC.Value(),
+		Completed: st.compC.Value(),
+
+		ShedQueueFull: st.shedVec.With(shedReasonQueueFull).Value(),
+		ShedOverQuota: st.shedVec.With(shedReasonOverQuota).Value(),
+		ShedExpired:   st.shedVec.With(shedReasonExpired).Value(),
+
+		CacheHits:          st.hitC.Value(),
+		CacheMisses:        st.missC.Value(),
+		SingleflightShared: st.sharedC.Value(),
+		CacheEvictions:     st.evictC.Value(),
+		CacheEntries:       cacheEntries,
+
+		Batches:    st.batchH.Count(),
+		QueueDepth: queueDepth,
+
+		PersonalizeNs: int64(pers.Sum), PersonalizeRuns: pers.Count,
+		QueueWaitNs: int64(wait.Sum), QueueWaitObs: wait.Count,
+		ForwardNs: int64(fwd.Sum), ForwardFlushes: fwd.Count,
+
+		PersonalizeP99: time.Duration(pers.Quantile(0.99)),
+		QueueWaitP99:   time.Duration(wait.Quantile(0.99)),
+		ForwardP50:     time.Duration(fwd.Quantile(0.50)),
+		ForwardP95:     time.Duration(fwd.Quantile(0.95)),
+		ForwardP99:     time.Duration(fwd.Quantile(0.99)),
+
+		GuardTrips:     st.guardC.Value(),
+		FallbackServed: st.fallbackC.Value(),
+		Heals:          st.healC.Value(),
+		HealFailures:   st.healFailC.Value(),
+
+		CheckpointErrors: st.ckptErrC.Value(),
+	}
+	// The shed total is derived as the sum of its reasons, so the
+	// invariant Shed == queue-full + over-quota + expired holds by
+	// construction in every snapshot and every scrape.
+	out.Shed = out.ShedQueueFull + out.ShedOverQuota + out.ShedExpired
+
 	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := st.s
-	out.BatchHistogram = make(map[int]uint64, len(st.s.BatchHistogram))
-	for k, v := range st.s.BatchHistogram {
+	out.BatchHistogram = make(map[int]uint64, len(st.batchSizes))
+	for k, v := range st.batchSizes {
 		out.BatchHistogram[k] = v
 	}
-	out.CacheEntries = cacheEntries
-	out.QueueDepth = queueDepth
+	out.CheckpointGeneration = st.checkpointGen
+	out.LastCheckpointError = st.lastCheckpointErr
 	if !st.checkpointAt.IsZero() {
 		out.CheckpointAge = time.Since(st.checkpointAt)
 	}
+	st.mu.Unlock()
 	return out
 }
 
-func (st *stats) admitted()  { st.add(func(s *Stats) { s.Requests++ }) }
-func (st *stats) completed() { st.add(func(s *Stats) { s.Completed++ }) }
+func (st *stats) admitted()  { st.reqC.Inc() }
+func (st *stats) completed() { st.compC.Inc() }
 
-// The shed counters: every shed bumps the total plus its reason.
-func (st *stats) shedQueueFull() { st.add(func(s *Stats) { s.Shed++; s.ShedQueueFull++ }) }
-func (st *stats) shedOverQuota() { st.add(func(s *Stats) { s.Shed++; s.ShedOverQuota++ }) }
-func (st *stats) shedExpired()   { st.add(func(s *Stats) { s.Shed++; s.ShedExpired++ }) }
+// The shed counters: each shed bumps its reason's series (the total is
+// derived) and leaves a structured event naming the cause.
+func (st *stats) shedQueueFull() { st.shedBy(shedReasonQueueFull) }
+func (st *stats) shedOverQuota() { st.shedBy(shedReasonOverQuota) }
+func (st *stats) shedExpired()   { st.shedBy(shedReasonExpired) }
+
+func (st *stats) shedBy(reason string) {
+	st.shedVec.With(reason).Inc()
+	st.events.Record("shed", "", reason, nil)
+}
 
 // forwardEstimate is the EDF batcher's service-time estimate: the mean
 // batched-forward latency observed so far, or zero before the first
 // flush (a fresh server has nothing better than "flush at the
 // deadline").
 func (st *stats) forwardEstimate() time.Duration {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.s.ForwardFlushes == 0 {
+	snap := st.fwdH.Snapshot()
+	if snap.Count == 0 {
 		return 0
 	}
-	return time.Duration(st.s.ForwardNs / int64(st.s.ForwardFlushes))
+	return time.Duration(int64(snap.Sum) / int64(snap.Count))
 }
-func (st *stats) cacheHit()  { st.add(func(s *Stats) { s.CacheHits++ }) }
-func (st *stats) cacheMiss() { st.add(func(s *Stats) { s.CacheMisses++ }) }
-func (st *stats) flightShared() {
-	st.add(func(s *Stats) { s.SingleflightShared++ })
-}
-func (st *stats) evicted() { st.add(func(s *Stats) { s.CacheEvictions++ }) }
 
-func (st *stats) personalized(d time.Duration) {
-	st.add(func(s *Stats) { s.PersonalizeNs += int64(d); s.PersonalizeRuns++ })
-}
+func (st *stats) cacheHit()     { st.hitC.Inc() }
+func (st *stats) cacheMiss()    { st.missC.Inc() }
+func (st *stats) flightShared() { st.sharedC.Inc() }
+func (st *stats) evicted()      { st.evictC.Inc() }
+
+func (st *stats) personalized(d time.Duration) { st.persH.Observe(float64(d)) }
 
 // flushed records one group flush: its size, the per-request queue
 // waits, and the batched forward latency.
 func (st *stats) flushed(size int, queueWait []time.Duration, forward time.Duration) {
-	st.add(func(s *Stats) {
-		s.Batches++
-		s.BatchHistogram[size]++
-		for _, w := range queueWait {
-			s.QueueWaitNs += int64(w)
-			s.QueueWaitObs++
-		}
-		s.ForwardNs += int64(forward)
-		s.ForwardFlushes++
-	})
+	st.batchH.Observe(float64(size))
+	for _, w := range queueWait {
+		st.waitH.Observe(float64(w))
+	}
+	st.fwdH.Observe(float64(forward))
+	st.mu.Lock()
+	st.batchSizes[size]++
+	st.mu.Unlock()
 }
 
-func (st *stats) guardTripped()   { st.add(func(s *Stats) { s.GuardTrips++ }) }
-func (st *stats) fallbackServed() { st.add(func(s *Stats) { s.FallbackServed++ }) }
-func (st *stats) healed()         { st.add(func(s *Stats) { s.Heals++ }) }
-func (st *stats) healFailed()     { st.add(func(s *Stats) { s.HealFailures++ }) }
+func (st *stats) guardTripped()   { st.guardC.Inc() }
+func (st *stats) fallbackServed() { st.fallbackC.Inc() }
+func (st *stats) healed()         { st.healC.Inc() }
+func (st *stats) healFailed()     { st.healFailC.Inc() }
 
 // noteCheckpoint records a committed checkpoint generation; a success
 // clears the sticky last-error so the gauge reflects current health.
 func (st *stats) noteCheckpoint(gen int) {
 	st.mu.Lock()
-	st.s.CheckpointGeneration = gen
-	st.s.LastCheckpointError = ""
+	st.checkpointGen = gen
+	st.lastCheckpointErr = ""
 	st.checkpointAt = time.Now()
 	st.mu.Unlock()
+	st.events.Record("checkpoint", "", fmt.Sprintf("committed generation %d", gen), nil)
 }
 
 // noteCheckpointError records a failed checkpoint attempt.
 func (st *stats) noteCheckpointError(err error) {
+	st.ckptErrC.Inc()
 	st.mu.Lock()
-	st.s.CheckpointErrors++
-	st.s.LastCheckpointError = err.Error()
+	st.lastCheckpointErr = err.Error()
 	st.mu.Unlock()
-}
-
-func (st *stats) add(f func(*Stats)) {
-	st.mu.Lock()
-	f(&st.s)
-	st.mu.Unlock()
+	st.events.Record("checkpoint-error", "", err.Error(), nil)
 }

@@ -6,7 +6,10 @@
 #   (a) zero client-visible request failures (the gateway fails the
 #       dead shard's keys over to their ring replicas),
 #   (b) the gateway actually recorded failovers and opened the dead
-#       shard's breaker (visible via a remote stats scrape).
+#       shard's breaker (visible via a remote stats scrape),
+#   (c) the HTTP observability surface works under load: /metrics on
+#       the gateway and a shard serves live Prometheus series that
+#       exist and increase, and /debug/events attributes the failover.
 # A final bulk-flood phase stands up a fresh quota'd cluster and
 # asserts the QoS contract: a flooding bulk tenant is shed with typed
 # over-quota answers while interactive traffic serves inside its
@@ -55,6 +58,27 @@ wait_addr() {
     return 1
 }
 
+# wait_maddr LOG: poll a server log for its metrics address
+# ("metrics on http://HOST:PORT/metrics").
+wait_maddr() {
+    local log="$1" addr=""
+    for _ in $(seq 300); do
+        addr=$(sed -n 's|.* metrics on http://\([0-9.:]*\)/metrics.*|\1|p' "$log" 2>/dev/null | head -1)
+        if [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.2
+    done
+    echo "cluster_smoke: FAIL: no metrics address in $log" >&2
+    return 1
+}
+
+# metric_val NAME FILE: value of an unlabeled series in a /metrics dump.
+metric_val() {
+    awk -v m="$1" '$1 == m {print $2; exit}' "$2"
+}
+
 echo "cluster_smoke: phase 1 — start 3 serve shards (shard 1 with chaos) + gateway"
 NODE_ADDRS=()
 NODE_PIDS=()
@@ -69,8 +93,15 @@ for i in 0 1 2; do
     # below: on a small CI machine a shard kill queues cold prunes on
     # the replicas for far longer than the 30s production default, and
     # a too-small cap turns that backlog into busy sheds.
+    MADDR=""
+    if [ "$i" = "0" ]; then
+        # Shard 0 exposes its observability surface for the /metrics
+        # phase below.
+        MADDR="127.0.0.1:0"
+    fi
     "$WORKDIR/capnn-serve" -addr 127.0.0.1:0 -model "$MODEL" -no-guard \
         -request-timeout 100s \
+        ${MADDR:+-metrics-addr "$MADDR"} \
         ${CHAOS:+-chaos "$CHAOS"} >"$WORKDIR/serve$i.log" 2>&1 &
     NODE_PIDS+=($!)
     PIDS+=($!)
@@ -84,7 +115,7 @@ done
 # is seconds, not hundreds of ms), and a shard kill forces cold prunes
 # on the dead shard's replicas — so the failover budget must be sized
 # for the instrumented build, not production defaults.
-"$WORKDIR/capnn-gateway" -addr 127.0.0.1:0 \
+"$WORKDIR/capnn-gateway" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
     -nodes "$(IFS=,; echo "${NODE_ADDRS[*]}")" \
     -probe-every 250ms -probe-timeout 1s -fail-threshold 2 -cooldown 2s \
     -request-timeout 120s -attempt-timeout 60s \
@@ -92,7 +123,9 @@ done
 GW_PID=$!
 PIDS+=("$GW_PID")
 GW_ADDR=$(wait_addr "$WORKDIR/gateway.log")
-echo "cluster_smoke: gateway at $GW_ADDR (pid $GW_PID)"
+GW_MADDR=$(wait_maddr "$WORKDIR/gateway.log")
+SERVE0_MADDR=$(wait_maddr "$WORKDIR/serve0.log")
+echo "cluster_smoke: gateway at $GW_ADDR (pid $GW_PID, metrics $GW_MADDR; shard 0 metrics $SERVE0_MADDR)"
 
 echo "cluster_smoke: phase 2 — warm every user's personalization on every shard"
 # Warm each shard directly (not through the gateway, which only touches
@@ -133,6 +166,11 @@ for _ in $(seq 600); do
     fi
     sleep 0.2
 done
+# First /metrics scrape while the load is demonstrably mid-flight.
+curl -sf "http://$GW_MADDR/metrics" >"$WORKDIR/gw_metrics1.txt" || {
+    echo "cluster_smoke: FAIL: gateway /metrics unreachable mid-load"; exit 1; }
+curl -sf "http://$SERVE0_MADDR/metrics" >"$WORKDIR/serve0_metrics1.txt" || {
+    echo "cluster_smoke: FAIL: shard 0 /metrics unreachable mid-load"; exit 1; }
 kill -9 "${NODE_PIDS[2]}" 2>/dev/null || true
 echo "cluster_smoke: killed shard 2 (pid ${NODE_PIDS[2]}) mid-load"
 
@@ -145,7 +183,41 @@ sed 's/^/  load| /' "$WORKDIR/load.log" | tail -3
 grep -q ", 0 failed" "$WORKDIR/load.log" || {
     echo "cluster_smoke: FAIL: loadgen reported failures"; exit 1; }
 
-echo "cluster_smoke: phase 4 — scrape gateway stats, expect failovers and an open breaker"
+echo "cluster_smoke: phase 4 — observability surface: /metrics series exist and increase"
+curl -sf "http://$GW_MADDR/metrics" >"$WORKDIR/gw_metrics2.txt" || {
+    echo "cluster_smoke: FAIL: gateway /metrics unreachable after load"; exit 1; }
+curl -sf "http://$SERVE0_MADDR/metrics" >"$WORKDIR/serve0_metrics2.txt" || {
+    echo "cluster_smoke: FAIL: shard 0 /metrics unreachable after load"; exit 1; }
+GW_REQ1=$(metric_val capnn_gateway_requests_total "$WORKDIR/gw_metrics1.txt")
+GW_REQ2=$(metric_val capnn_gateway_requests_total "$WORKDIR/gw_metrics2.txt")
+[ -n "$GW_REQ1" ] && [ -n "$GW_REQ2" ] || {
+    echo "cluster_smoke: FAIL: capnn_gateway_requests_total missing from /metrics"; exit 1; }
+[ "$GW_REQ2" -gt "$GW_REQ1" ] || {
+    echo "cluster_smoke: FAIL: capnn_gateway_requests_total did not increase ($GW_REQ1 -> $GW_REQ2)"; exit 1; }
+SRV_REQ=$(metric_val capnn_serve_requests_total "$WORKDIR/serve0_metrics1.txt")
+[ -n "$SRV_REQ" ] && [ "$SRV_REQ" -gt 0 ] || {
+    echo "cluster_smoke: FAIL: capnn_serve_requests_total missing or zero on shard 0"; exit 1; }
+# Shed-reason series are pre-seeded: they must exist on a scrape even
+# before the first shed.
+grep -q 'capnn_gateway_shed_total{reason="over-quota"}' "$WORKDIR/gw_metrics1.txt" || {
+    echo "cluster_smoke: FAIL: gateway shed-reason series not pre-seeded"; exit 1; }
+grep -q 'capnn_serve_shed_total{reason="queue-full"}' "$WORKDIR/serve0_metrics1.txt" || {
+    echo "cluster_smoke: FAIL: serve shed-reason series not pre-seeded"; exit 1; }
+grep -q 'capnn_serve_forward_latency_ns_bucket' "$WORKDIR/serve0_metrics2.txt" || {
+    echo "cluster_smoke: FAIL: serve latency histogram missing from /metrics"; exit 1; }
+# The shard kill must be attributable: a failover event in the
+# gateway's structured event log, and /debug/cluster must answer.
+curl -sf "http://$GW_MADDR/debug/events" >"$WORKDIR/gw_events.json" || {
+    echo "cluster_smoke: FAIL: gateway /debug/events unreachable"; exit 1; }
+grep -q '"failover"' "$WORKDIR/gw_events.json" || {
+    echo "cluster_smoke: FAIL: no failover event recorded after the shard kill"; exit 1; }
+curl -sf "http://$GW_MADDR/debug/cluster" >"$WORKDIR/gw_cluster.json" || {
+    echo "cluster_smoke: FAIL: gateway /debug/cluster unreachable"; exit 1; }
+grep -q '"ring_version"' "$WORKDIR/gw_cluster.json" || {
+    echo "cluster_smoke: FAIL: /debug/cluster missing ring_version"; exit 1; }
+echo "cluster_smoke: /metrics ok (gateway requests $GW_REQ1 -> $GW_REQ2, shard 0 requests $SRV_REQ)"
+
+echo "cluster_smoke: phase 5 — scrape gateway stats, expect failovers and an open breaker"
 "$WORKDIR/capnn-loadgen" -addr "$GW_ADDR" -scrape >"$WORKDIR/stats.log" 2>&1
 sed 's/^/  stats| /' "$WORKDIR/stats.log"
 grep -Eq "failovers=[1-9]" "$WORKDIR/stats.log" || {
@@ -153,7 +225,7 @@ grep -Eq "failovers=[1-9]" "$WORKDIR/stats.log" || {
 grep -q "state=open" "$WORKDIR/stats.log" || {
     echo "cluster_smoke: FAIL: dead shard's breaker never opened"; exit 1; }
 
-echo "cluster_smoke: phase 5 — bulk flood: quota'd bulk tenant saturates 3 fresh shards"
+echo "cluster_smoke: phase 6 — bulk flood: quota'd bulk tenant saturates 3 fresh shards"
 # A bulk tenant floods a fresh 3-shard cluster through a gateway whose
 # bulk lane is quota'd to a near-zero refill (burst 10, 0.01/s), while
 # interactive traffic rides along with a real deadline budget. The QoS
@@ -192,7 +264,7 @@ echo "cluster_smoke: quota gateway at $QGW_ADDR (shards ${Q_NODE_ADDRS[*]})"
 # production latency). Typed sheds are soft, so exit status only trips
 # on real errors.
 if ! "$WORKDIR/capnn-loadgen" -addr "$QGW_ADDR" -model "$MODEL" -n "$REQUESTS" \
-    -users 8 -concurrency 8 -timeout 150s -progress-every 25 \
+    -users 8 -concurrency 8 -timeout 150s -progress-every 25 -json \
     -bulk-frac 0.7 -bulk-tenant batch -budget 120s >"$WORKDIR/qload.log" 2>&1; then
     sed 's/^/  qload| /' "$WORKDIR/qload.log" | tail -8
     echo "cluster_smoke: FAIL: hard failures during bulk flood"
@@ -205,6 +277,10 @@ grep -Eq "lane bulk: .*over-quota=[1-9]" "$WORKDIR/qload.log" || {
     echo "cluster_smoke: FAIL: bulk flood was never shed over-quota"; exit 1; }
 grep -q ", 0 failed" "$WORKDIR/qload.log" || {
     echo "cluster_smoke: FAIL: bulk flood produced client-visible failures"; exit 1; }
+# The flood ran with -json: the machine-readable summary must be on
+# stdout alongside the stderr human lines.
+grep -q '"qps"' "$WORKDIR/qload.log" || {
+    echo "cluster_smoke: FAIL: loadgen -json summary missing"; exit 1; }
 
 "$WORKDIR/capnn-loadgen" -addr "$QGW_ADDR" -scrape >"$WORKDIR/qstats.log" 2>&1
 sed 's/^/  qstats| /' "$WORKDIR/qstats.log"
