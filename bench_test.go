@@ -280,13 +280,77 @@ func BenchmarkInferencePruned(b *testing.B) {
 	}
 }
 
+// pruneRatioMasks builds a deterministic mask set pruning the first
+// `ratio` of units in every prunable stage (at least one survivor per
+// stage). Benchmarks want a controlled pruning ratio, not whatever
+// CAP'NN's algorithms produce for a particular preference.
+func pruneRatioMasks(net *nn.Network, ratio float64) map[int][]bool {
+	if ratio <= 0 {
+		return nil
+	}
+	masks := map[int][]bool{}
+	for _, st := range net.Stages() {
+		units := st.Unit.Units()
+		k := int(float64(units) * ratio)
+		if k >= units {
+			k = units - 1
+		}
+		m := make([]bool, units)
+		for j := 0; j < k; j++ {
+			m[j] = true // true = pruned
+		}
+		masks[st.Index] = m
+	}
+	return masks
+}
+
+// BenchmarkCompiledInfer is the tentpole number: masked inference (full
+// model FLOPs, pruned outputs zeroed) against compiled inference (the
+// physically compacted nn.Compiled) at 0/20/40/60% pruning on a batch of
+// 8 — serve's micro-batch size. Masked rows should stay roughly flat as
+// pruning deepens; compiled rows should drop with the ratio, clearing
+// ~1.5× at 40%. Each plan is checked bit-identical to the masked path
+// before timing (the Compile probe re-asserts it internally too).
+func BenchmarkCompiledInfer(b *testing.B) {
+	fx := cifarFixture(b)
+	net := fx.Sys.Net
+	x, _ := fx.Sets.Test.Batch(firstN(fx.Sets.Test.Len(), 8))
+	for _, pct := range []int{0, 20, 40, 60} {
+		masks := pruneRatioMasks(net, float64(pct)/100)
+		c, err := nn.Compile(net, masks)
+		if err != nil {
+			b.Fatalf("compile at %d%%: %v", pct, err)
+		}
+		want, got := net.Infer(x, masks).Data(), c.Infer(x).Data()
+		for i := range want {
+			if want[i] != got[i] {
+				b.Fatalf("compiled output diverges from masked at %d%% pruning, elem %d", pct, i)
+			}
+		}
+		b.Run(fmt.Sprintf("pruned-%d/masked", pct), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				net.Infer(x, masks)
+			}
+		})
+		b.Run(fmt.Sprintf("pruned-%d/compiled", pct), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				c.Infer(x)
+			}
+		})
+	}
+}
+
 // BenchmarkServeThroughput compares multi-user serving strategies on the
 // 10-class fixture: the naive per-request path (install the requester's
 // mask, run one stateful batch-1 forward under the global lock — the
 // only safe pre-serve approach) against internal/serve's pipeline, which
 // micro-batches requests sharing a preference key into one batched
-// masked forward (im2col kernel, batch size 8). Reported req/s is the
-// headline; the batched path should clear 2× the naive one.
+// forward (batch size 8) — once with compilation disabled (masked
+// kernels) and once on the compiled sub-network. Reported req/s is the
+// headline; the batched path should clear 2× the naive one, and the
+// compiled row should beat the masked one by roughly the pruning ratio.
 func BenchmarkServeThroughput(b *testing.B) {
 	fx := cifarFixture(b)
 	prefs := core.Uniform([]int{3, 7})
@@ -296,28 +360,9 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	x1, _ := fx.Sets.Test.Batch([]int{0})
 	shape := x1.Shape()
+	sample := x1.MustReshape(shape[1:]...)
 
-	b.Run("naive-per-request", func(b *testing.B) {
-		var mu sync.Mutex
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			mu.Lock()
-			fx.Net.SetPruning(masks)
-			fx.Net.Forward(x1)
-			fx.Net.ClearPruning()
-			mu.Unlock()
-		}
-		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
-	})
-
-	b.Run("micro-batch-8", func(b *testing.B) {
-		srv := serve.NewServerWith(fx.Sys, serve.Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond})
-		defer srv.Close()
-		sample := x1.MustReshape(shape[1:]...)
-		if _, err := srv.Infer(prefs, sample); err != nil { // warm the mask cache
-			b.Fatal(err)
-		}
+	hammer := func(b *testing.B, srv *serve.Server) {
 		const lanes = 8
 		b.ReportAllocs()
 		b.ResetTimer()
@@ -343,6 +388,41 @@ func BenchmarkServeThroughput(b *testing.B) {
 		}
 		wg.Wait()
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	}
+
+	b.Run("naive-per-request", func(b *testing.B) {
+		var mu sync.Mutex
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mu.Lock()
+			fx.Net.SetPruning(masks)
+			fx.Net.Forward(x1)
+			fx.Net.ClearPruning()
+			mu.Unlock()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+	})
+
+	b.Run("micro-batch-8", func(b *testing.B) {
+		srv := serve.NewServerWith(fx.Sys, serve.Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond, DisableCompile: true})
+		defer srv.Close()
+		if _, err := srv.Infer(prefs, sample); err != nil { // warm the mask cache
+			b.Fatal(err)
+		}
+		hammer(b, srv)
+	})
+
+	b.Run("micro-batch-8-compiled", func(b *testing.B) {
+		srv := serve.NewServerWith(fx.Sys, serve.Config{MaxBatch: 8, MaxWait: 2 * time.Millisecond})
+		defer srv.Close()
+		if _, err := srv.Infer(prefs, sample); err != nil { // warm the mask cache
+			b.Fatal(err)
+		}
+		if err := srv.CompileWait(30 * time.Second); err != nil { // time compiled dispatch, not the compile
+			b.Fatal(err)
+		}
+		hammer(b, srv)
 	})
 }
 

@@ -99,6 +99,20 @@ func LoadModelFile(path string) (*Network, error) { return nn.LoadFile(path) }
 // Compact physically removes pruned units, producing the deployable model.
 func Compact(net *Network) (*Network, error) { return nn.Compact(net) }
 
+// CompactMasked compacts under masks passed as an argument rather than
+// installed on the network — safe concurrently with serving.
+func CompactMasked(net *Network, masks map[int][]bool) (*Network, error) {
+	return nn.CompactMasked(net, masks)
+}
+
+// Compiled is a compacted network lowered to a flat op plan with pooled
+// scratch; its Infer is bit-identical to the masked forward it replaces.
+type Compiled = nn.Compiled
+
+// Compile builds a Compiled for a (network, masks) pair, verifying
+// bit-identity against the masked path before returning it.
+func Compile(net *Network, masks map[int][]bool) (*Compiled, error) { return nn.Compile(net, masks) }
+
 // --- data -----------------------------------------------------------------
 
 // Dataset is a labeled image set.

@@ -73,6 +73,8 @@ func main() {
 	stateDir := flag.String("state", "", "checkpoint store directory: warm-start the mask cache from the latest good generation and checkpoint periodically (empty = stateless)")
 	ckptEvery := flag.Duration("checkpoint-every", 30*time.Second, "with -state, commit a checkpoint this often")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight work at shutdown")
+	noCompile := flag.Bool("no-compile", false, "disable compiled inference (serve every personalized group by masked forwards on the base network)")
+	compiledBudget := flag.Int64("compiled-budget-bytes", 0, "resident compiled-weight byte budget; past it cold compiled forms are evicted, masks stay cached (0 = default 512MiB, negative = unlimited)")
 	noGuard := flag.Bool("no-guard", false, "disable the runtime ε-guard (serve stale personalizations forever)")
 	guardEvery := flag.Int("guard-sample-every", 8, "shadow-sample every Nth request per entry through the unpruned network")
 	guardWindow := flag.Int("guard-window", 256, "sliding window of shadow observations per entry")
@@ -121,19 +123,21 @@ func main() {
 		}
 	}
 	srv := serve.NewServerWith(fx.Sys, serve.Config{
-		Variant:           v,
-		MaxBatch:          *maxBatch,
-		MaxWait:           *maxWait,
-		Workers:           *workers,
-		CacheCap:          *cacheCap,
-		MaxQueue:          *maxQueue,
-		RequestTimeout:    *reqTimeout,
-		EDFSlack:          *edfSlack,
-		BulkQueueFraction: *bulkFrac,
-		DisableGuard:      *noGuard,
-		GuardSampleEvery:  *guardEvery,
-		GuardWindow:       *guardWindow,
-		GuardSlack:        *guardSlack,
+		Variant:             v,
+		MaxBatch:            *maxBatch,
+		MaxWait:             *maxWait,
+		Workers:             *workers,
+		CacheCap:            *cacheCap,
+		MaxQueue:            *maxQueue,
+		RequestTimeout:      *reqTimeout,
+		EDFSlack:            *edfSlack,
+		BulkQueueFraction:   *bulkFrac,
+		DisableCompile:      *noCompile,
+		CompiledBudgetBytes: *compiledBudget,
+		DisableGuard:        *noGuard,
+		GuardSampleEvery:    *guardEvery,
+		GuardWindow:         *guardWindow,
+		GuardSlack:          *guardSlack,
 	})
 
 	var st *store.Store

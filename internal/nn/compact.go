@@ -2,7 +2,7 @@ package nn
 
 import (
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 )
 
 // Compact returns a physically smaller copy of net in which every pruned
@@ -13,26 +13,53 @@ import (
 // original (verified by the test suite) and its ParamCount is the paper's
 // "number of unique parameters" model-size metric.
 //
-// Compact fails if pruning would empty a layer entirely.
+// Compact reads the masks installed on net (SetPruning). It fails if
+// pruning would empty a layer entirely.
 func Compact(net *Network) (*Network, error) {
-	rng := rand.New(rand.NewSource(0)) // placeholder init; weights are overwritten
+	return CompactMasked(net, net.Masks())
+}
+
+// CompactMasked is Compact with the prune masks supplied as an argument
+// (the same unit-layer indexing Network.Infer takes; nil masks or absent
+// indices leave a stage unpruned) instead of read from layer state. It
+// never reads or writes any mutable field of net — only the weights — so
+// it is safe to run concurrently with serving-path Infer calls and with
+// mask installation, the same contract as Infer itself. It must not run
+// concurrently with training (weight mutation).
+func CompactMasked(net *Network, masks map[int][]bool) (*Network, error) {
+	cnet, _, err := compactMaskedKeep(net, masks)
+	return cnet, err
+}
+
+// compactMaskedKeep is CompactMasked plus the final keep mask: one bool
+// per feature of the ORIGINAL network's flattened output, true where the
+// compacted output carries that feature and false where the masked
+// original would emit a (exactly +0.0) pruned output. Compile uses it to
+// scatter compacted outputs back to full width.
+func compactMaskedKeep(net *Network, masks map[int][]bool) (*Network, []bool, error) {
 	out := &Network{InShape: append([]int(nil), net.InShape...)}
 	// keep[i] reports whether feature i of the current inter-layer
 	// signal survives. It starts as all-true over the input channels.
 	keep := allTrue(net.InShape[0])
 	cur := append([]int(nil), net.InShape...)
+	unit := -1
 
 	for _, l := range net.Layers {
 		switch t := l.(type) {
 		case *Conv2D:
-			outKeep := notPruned(t.pruned, t.outC)
+			unit++
+			mask := masks[unit]
+			if mask != nil && len(mask) != t.outC {
+				return nil, nil, fmt.Errorf("nn: compact conv %q mask length %d, want %d", t.name, len(mask), t.outC)
+			}
+			outKeep := notPruned(mask, t.outC)
 			newIn, newOut := count(keep), count(outKeep)
 			if newOut == 0 {
-				return nil, fmt.Errorf("nn: compact would remove every channel of %q", t.name)
+				return nil, nil, fmt.Errorf("nn: compact would remove every channel of %q", t.name)
 			}
-			nc, err := NewConv2D(t.name, []int{newIn, cur[1], cur[2]}, newOut, t.k, t.stride, t.pad, rng)
+			nc, err := NewConv2DUninit(t.name, []int{newIn, cur[1], cur[2]}, newOut, t.k, t.stride, t.pad)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			copyConvWeights(nc, t, keep, outKeep)
 			out.Layers = append(out.Layers, nc)
@@ -40,14 +67,19 @@ func Compact(net *Network) (*Network, error) {
 			cur = nc.OutShape()
 
 		case *Dense:
-			outKeep := notPruned(t.pruned, t.out)
+			unit++
+			mask := masks[unit]
+			if mask != nil && len(mask) != t.out {
+				return nil, nil, fmt.Errorf("nn: compact dense %q mask length %d, want %d", t.name, len(mask), t.out)
+			}
+			outKeep := notPruned(mask, t.out)
 			newIn, newOut := count(keep), count(outKeep)
 			if newOut == 0 {
-				return nil, fmt.Errorf("nn: compact would remove every neuron of %q", t.name)
+				return nil, nil, fmt.Errorf("nn: compact would remove every neuron of %q", t.name)
 			}
-			nd, err := NewDense(t.name, []int{newIn}, newOut, rng)
+			nd, err := NewDenseUninit(t.name, []int{newIn}, newOut)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			copyDenseWeights(nd, t, keep, outKeep)
 			out.Layers = append(out.Layers, nd)
@@ -61,15 +93,20 @@ func Compact(net *Network) (*Network, error) {
 		case *MaxPool2D:
 			np, err := NewMaxPool2D(t.name, compactShape(cur, keep), t.k, t.stride)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out.Layers = append(out.Layers, np)
 			cur = []int{cur[0], np.outH, np.outW}
 
 		case *Dropout:
-			nd, err := NewDropout(t.name, compactShape(cur, keep), t.p, t.rng.Int63())
+			// Dropout is identity at inference; the seed only shapes
+			// training noise, which a compacted copy never runs. A
+			// name-derived seed keeps construction deterministic without
+			// mutating the source layer's rng (serialization does not
+			// preserve dropout seeds either).
+			nd, err := NewDropout(t.name, compactShape(cur, keep), t.p, nameSeed(t.name))
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			out.Layers = append(out.Layers, nd)
 
@@ -88,10 +125,29 @@ func Compact(net *Network) (*Network, error) {
 			cur = nf.OutShape()
 
 		default:
-			return nil, fmt.Errorf("nn: compact does not support layer type %T", l)
+			return nil, nil, fmt.Errorf("nn: compact does not support layer type %T", l)
 		}
 	}
-	return out, nil
+	// Expand the final keep mask to per-feature granularity of the
+	// original output: channel-level masks repeat over the spatial plane.
+	keepOut := keep
+	if len(cur) == 3 {
+		hw := cur[1] * cur[2]
+		keepOut = make([]bool, 0, len(keep)*hw)
+		for _, k := range keep {
+			for i := 0; i < hw; i++ {
+				keepOut = append(keepOut, k)
+			}
+		}
+	}
+	return out, keepOut, nil
+}
+
+// nameSeed derives a stable dropout seed from a layer name.
+func nameSeed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
 }
 
 // compactShape shrinks the leading (channel/feature) dimension of a

@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"capnn/internal/tensor"
+)
+
+// bitEqual reports whether two tensors are bit-for-bit identical —
+// the compiled-inference invariant is exact equality, not tolerance.
+func bitEqual(t *testing.T, want, got *tensor.Tensor) {
+	t.Helper()
+	if !want.SameShape(got) {
+		t.Fatalf("shapes differ: want %v, got %v", want.Shape(), got.Shape())
+	}
+	wd, gd := want.Data(), got.Data()
+	for i := range wd {
+		if math.Float64bits(wd[i]) != math.Float64bits(gd[i]) {
+			t.Fatalf("elem %d differs bitwise: masked %v (%#x) vs compiled %v (%#x)",
+				i, wd[i], math.Float64bits(wd[i]), gd[i], math.Float64bits(gd[i]))
+		}
+	}
+}
+
+// randVGGNet builds a random small VGG-ish network: conv/relu/pool blocks,
+// flatten, then a dense tail, with an occasional dropout.
+func randVGGNet(rng *rand.Rand) *Network {
+	inC := 1 + rng.Intn(3)
+	hw := []int{8, 12}[rng.Intn(2)]
+	b := NewBuilder(inC, hw, hw, rng.Int63())
+	blocks := 1 + rng.Intn(2)
+	for i := 0; i < blocks; i++ {
+		b.Conv(2 + rng.Intn(5)).ReLU()
+		if i == blocks-1 || rng.Intn(2) == 0 {
+			b.Pool()
+		}
+	}
+	b.Flatten()
+	if rng.Intn(3) == 0 {
+		b.Dropout(0.3)
+	}
+	if rng.Intn(2) == 0 {
+		b.Dense(3 + rng.Intn(8)).ReLU()
+	}
+	b.Dense(2 + rng.Intn(5))
+	return b.MustBuild()
+}
+
+// randMasks draws a random structured mask set for net, cycling through
+// the shapes the issue calls out: nil (nothing pruned), random, a
+// single-unit survivor, and all-clear (explicit all-false masks).
+func randMasks(rng *rand.Rand, net *Network, variant int) map[int][]bool {
+	stages := net.Stages()
+	switch variant % 4 {
+	case 0:
+		return nil
+	case 1: // random ~40% pruning, at least one survivor per stage
+		masks := map[int][]bool{}
+		for _, st := range stages {
+			m := make([]bool, st.Unit.Units())
+			for j := range m {
+				m[j] = rng.Float64() < 0.4
+			}
+			m[rng.Intn(len(m))] = false
+			masks[st.Index] = m
+		}
+		return masks
+	case 2: // single-unit survivor in every stage
+		masks := map[int][]bool{}
+		for _, st := range stages {
+			m := make([]bool, st.Unit.Units())
+			for j := range m {
+				m[j] = true
+			}
+			m[rng.Intn(len(m))] = false
+			masks[st.Index] = m
+		}
+		return masks
+	default: // all-clear: explicit masks that prune nothing
+		masks := map[int][]bool{}
+		for _, st := range stages {
+			masks[st.Index] = make([]bool, st.Unit.Units())
+		}
+		return masks
+	}
+}
+
+// The tentpole property: Compile(net, masks).Infer(x) is bit-for-bit
+// net.Infer(x, masks), for random VGG-ish nets and random structured
+// masks, batched and single-sample.
+func TestCompiledInferBitIdenticalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 24; trial++ {
+		net := randVGGNet(rng)
+		masks := randMasks(rng, net, trial)
+		c, err := Compile(net, masks)
+		if err != nil {
+			t.Fatalf("trial %d: compile: %v", trial, err)
+		}
+		for _, n := range []int{1, 5} {
+			x := randInput(append([]int{n}, net.InShape...), rng.Int63())
+			bitEqual(t, net.Infer(x, masks), c.Infer(x))
+		}
+	}
+}
+
+// Compiled inference must also agree when masks are installed on the
+// network (the Compact path) rather than passed as an argument.
+func TestCompileMatchesInstalledMasks(t *testing.T) {
+	net := buildSmallNet(11)
+	net.SetPruning(map[int][]bool{
+		0: {true, false, false, true},
+		1: {false, true, false, false, true},
+		2: {false, false, true, true, false, false, true},
+	})
+	masks := net.Masks()
+	c, err := Compile(net, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput([]int{3, 2, 8, 8}, 12)
+	bitEqual(t, net.Infer(x, masks), c.Infer(x))
+}
+
+// A fully-pruned stage cannot compile; callers get an error (and fall
+// back to masked inference) instead of a broken plan.
+func TestCompileRejectsEmptyLayer(t *testing.T) {
+	net := buildSmallNet(13)
+	if _, err := Compile(net, map[int][]bool{0: {true, true, true, true}}); err == nil {
+		t.Fatal("compiling an emptied stage should error")
+	}
+}
+
+// Bytes shrinks with pruning and reflects only the compacted parameters.
+func TestCompiledBytesShrink(t *testing.T) {
+	net := buildSmallNet(14)
+	full, err := Compile(net, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(net.ParamCount()) * 8; full.Bytes() != want {
+		t.Fatalf("unpruned Bytes = %d, want %d", full.Bytes(), want)
+	}
+	pruned, err := Compile(net, map[int][]bool{0: {true, true, false, false}, 2: {true, false, true, false, true, false, true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned.Bytes() >= full.Bytes() {
+		t.Fatalf("pruned Bytes %d not below full %d", pruned.Bytes(), full.Bytes())
+	}
+}
+
+// Concurrent Infer calls on one Compiled share the scratch pool but must
+// not share state — run under -race and check outputs stay bit-stable.
+func TestCompiledInferConcurrent(t *testing.T) {
+	net := buildSmallNet(15)
+	masks := map[int][]bool{0: {true, false, false, true}, 1: {false, true, true, false, false}}
+	c, err := Compile(net, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput([]int{4, 2, 8, 8}, 16)
+	want := net.Infer(x, masks)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				got := c.Infer(x)
+				for j, v := range want.Data() {
+					if math.Float64bits(v) != math.Float64bits(got.Data()[j]) {
+						t.Errorf("concurrent infer diverged at elem %d", j)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Dropout layers are elided from the plan; a net with dropout still
+// compiles and matches the masked path (dropout is identity at infer).
+func TestCompileElidesDropout(t *testing.T) {
+	net := NewBuilder(1, 8, 8, 17).Conv(3).ReLU().Pool().Flatten().Dropout(0.5).Dense(6).ReLU().Dropout(0.25).Dense(3).MustBuild()
+	masks := map[int][]bool{1: {true, false, true, false, false, true}}
+	c, err := Compile(net, masks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randInput([]int{2, 1, 8, 8}, 18)
+	bitEqual(t, net.Infer(x, masks), c.Infer(x))
+}

@@ -25,6 +25,19 @@ type Conv2D struct {
 // NewConv2D constructs a convolution for the given per-sample input shape
 // [inC, inH, inW]. Weights are He-initialized from rng; bias starts at 0.
 func NewConv2D(name string, inShape []int, outC, k, stride, pad int, rng *rand.Rand) (*Conv2D, error) {
+	c, err := NewConv2DUninit(name, inShape, outC, k, stride, pad)
+	if err != nil {
+		return nil, err
+	}
+	c.w.W.FillHe(rng, inShape[0]*k*k)
+	return c, nil
+}
+
+// NewConv2DUninit constructs the convolution with zeroed weights — the
+// allocation path for callers that overwrite every parameter anyway
+// (compaction, deserialization), which would otherwise pay for a full
+// random init just to discard it.
+func NewConv2DUninit(name string, inShape []int, outC, k, stride, pad int) (*Conv2D, error) {
 	if len(inShape) != 3 {
 		return nil, fmt.Errorf("nn: conv %q needs [C,H,W] input shape, got %v", name, inShape)
 	}
@@ -45,7 +58,6 @@ func NewConv2D(name string, inShape []int, outC, k, stride, pad int, rng *rand.R
 	}
 	c.w = &Param{Name: name + ".w", W: tensor.New(outC, inC, k, k), G: tensor.New(outC, inC, k, k)}
 	c.b = &Param{Name: name + ".b", W: tensor.New(outC), G: tensor.New(outC)}
-	c.w.W.FillHe(rng, inC*k*k)
 	return c, nil
 }
 

@@ -20,6 +20,18 @@ type Dense struct {
 // NewDense constructs a dense layer for flat per-sample input [in].
 // Weights are He-initialized from rng; bias starts at 0.
 func NewDense(name string, inShape []int, out int, rng *rand.Rand) (*Dense, error) {
+	d, err := NewDenseUninit(name, inShape, out)
+	if err != nil {
+		return nil, err
+	}
+	d.w.W.FillHe(rng, inShape[0])
+	return d, nil
+}
+
+// NewDenseUninit constructs the dense layer with zeroed weights — the
+// allocation path for callers that overwrite every parameter anyway
+// (compaction, deserialization).
+func NewDenseUninit(name string, inShape []int, out int) (*Dense, error) {
 	if len(inShape) != 1 {
 		return nil, fmt.Errorf("nn: dense %q needs flat [F] input shape, got %v", name, inShape)
 	}
@@ -30,7 +42,6 @@ func NewDense(name string, inShape []int, out int, rng *rand.Rand) (*Dense, erro
 	d := &Dense{name: name, in: in, out: out}
 	d.w = &Param{Name: name + ".w", W: tensor.New(out, in), G: tensor.New(out, in)}
 	d.b = &Param{Name: name + ".b", W: tensor.New(out), G: tensor.New(out)}
-	d.w.W.FillHe(rng, in)
 	return d, nil
 }
 

@@ -5,7 +5,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math/rand"
 	"os"
 )
 
@@ -89,13 +88,12 @@ func Load(r io.Reader) (*Network, error) {
 	if len(spec.InShape) != 3 {
 		return nil, fmt.Errorf("nn: bad input shape %v", spec.InShape)
 	}
-	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
 	net := &Network{InShape: append([]int(nil), spec.InShape...)}
 	cur := net.InShape
 	for _, ls := range spec.Layers {
 		switch ls.Kind {
 		case "conv":
-			c, err := NewConv2D(ls.Name, cur, ls.OutC, ls.K, ls.Stride, ls.Pad, rng)
+			c, err := NewConv2DUninit(ls.Name, cur, ls.OutC, ls.K, ls.Stride, ls.Pad)
 			if err != nil {
 				return nil, err
 			}
@@ -114,7 +112,7 @@ func Load(r io.Reader) (*Network, error) {
 			if len(cur) != 1 {
 				return nil, fmt.Errorf("nn: dense %q after non-flat shape %v", ls.Name, cur)
 			}
-			d, err := NewDense(ls.Name, cur, ls.Out, rng)
+			d, err := NewDenseUninit(ls.Name, cur, ls.Out)
 			if err != nil {
 				return nil, err
 			}

@@ -28,8 +28,12 @@ const bulkKeyPrefix = "!bulk|"
 // under (nil masks = unpruned), its QoS envelope, and the channel its
 // outcome lands on (buffered; the flusher never blocks).
 type request struct {
-	gkey     string
-	masks    map[int][]bool
+	gkey  string
+	masks map[int][]bool
+	// entry is the mask-cache entry the request forwards under, carrying
+	// the compiled network when one is ready; nil for unpruned traffic
+	// (guard fallback and shadow samples).
+	entry    *maskEntry
 	x        []float64
 	enqueued time.Time
 	// deadline is the request's effective absolute deadline (client
@@ -53,6 +57,7 @@ type outcome struct {
 type group struct {
 	gkey    string
 	masks   map[int][]bool
+	entry   *maskEntry
 	lane    qos.Lane
 	reqs    []*request
 	timer   *time.Timer
@@ -187,7 +192,7 @@ func (b *batcher) submit(r *request) error {
 	reqFlushAt := edfFlushAt(r.enqueued, r.deadline, b.maxWait, b.st.forwardEstimate(), b.edfSlack)
 	g, ok := b.pending[key]
 	if !ok {
-		g = &group{gkey: key, masks: r.masks, lane: r.lane, flushAt: reqFlushAt}
+		g = &group{gkey: key, masks: r.masks, entry: r.entry, lane: r.lane, flushAt: reqFlushAt}
 		b.pending[key] = g
 		g.timer = time.AfterFunc(time.Until(reqFlushAt), func() { b.flushKey(key, g) })
 	} else if reqFlushAt.Before(g.flushAt) {
@@ -330,8 +335,25 @@ func (b *batcher) runGroup(g *group) {
 		waits[i] = flushStart.Sub(req.enqueued)
 	}
 
+	// Dispatch on the entry's compiled network when one is ready —
+	// bit-identical to the masked forward by Compile's probe guarantee —
+	// and fall back to masked inference while compilation is in flight,
+	// failed, or budget-evicted. Unpruned groups (entry == nil) always
+	// take the masked path and count under neither series.
 	fwdStart := time.Now()
-	out := b.net.Infer(batch, g.masks)
+	var out *tensor.Tensor
+	if g.entry != nil {
+		if compiled := g.entry.compiled.Load(); compiled != nil {
+			out = compiled.Infer(batch)
+			b.st.compiledDispatched(n)
+		}
+	}
+	if out == nil {
+		out = b.net.Infer(batch, g.masks)
+		if g.entry != nil {
+			b.st.maskedFallback(n)
+		}
+	}
 	b.st.flushed(n, waits, time.Since(fwdStart))
 
 	classes := out.Dim(1)

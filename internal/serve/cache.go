@@ -3,8 +3,10 @@ package serve
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"capnn/internal/core"
+	"capnn/internal/nn"
 )
 
 // maskEntry is one cached personalization: the per-stage prune masks for
@@ -22,6 +24,13 @@ type maskEntry struct {
 	// guard is the entry's runtime ε-guard; nil when guarding is
 	// disabled or the entry was restored without one.
 	guard *entryGuard
+
+	// Compiled-inference state (compiler.go): compiled holds the entry's
+	// verified compiled network once compileSt reaches compileReady; the
+	// batcher loads it lock-free per flush and falls back to masked
+	// inference on nil. Never serialized — restore re-enqueues a compile.
+	compiled  atomic.Pointer[nn.Compiled]
+	compileSt atomic.Int32
 }
 
 // flight is one in-progress personalization. Joiners block on done and
@@ -40,6 +49,12 @@ type flight struct {
 type maskCache struct {
 	cap int
 	st  *stats
+
+	// onDrop, when set (before serving starts), observes every entry
+	// leaving the cache — LRU eviction or install replacement — so the
+	// compiler can release its compiled form. Called under mu; the hook
+	// must only touch the entry's atomics.
+	onDrop func(*maskEntry)
 
 	mu      sync.Mutex
 	lru     *list.List               // front = most recent; values are *maskEntry
@@ -95,12 +110,7 @@ func (c *maskCache) get(key string, fill func() (*maskEntry, error)) (*maskEntry
 		// While our flight was registered no other fill could run for
 		// this key, so a plain insert cannot clobber a fresher entry.
 		c.entries[key] = c.lru.PushFront(f.entry)
-		for c.lru.Len() > c.cap {
-			tail := c.lru.Back()
-			c.lru.Remove(tail)
-			delete(c.entries, tail.Value.(*maskEntry).key)
-			c.st.evicted()
-		}
+		c.evictOverCapLocked()
 	}
 	c.mu.Unlock()
 	close(f.done)
@@ -114,15 +124,27 @@ func (c *maskCache) install(e *maskEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[e.key]; ok {
+		if old := el.Value.(*maskEntry); old != e && c.onDrop != nil {
+			c.onDrop(old)
+		}
 		el.Value = e
 		c.lru.MoveToFront(el)
 		return
 	}
 	c.entries[e.key] = c.lru.PushFront(e)
+	c.evictOverCapLocked()
+}
+
+// evictOverCapLocked trims the LRU tail past capacity. Caller holds mu.
+func (c *maskCache) evictOverCapLocked() {
 	for c.lru.Len() > c.cap {
 		tail := c.lru.Back()
 		c.lru.Remove(tail)
-		delete(c.entries, tail.Value.(*maskEntry).key)
+		dropped := tail.Value.(*maskEntry)
+		delete(c.entries, dropped.key)
+		if c.onDrop != nil {
+			c.onDrop(dropped)
+		}
 		c.st.evicted()
 	}
 }

@@ -92,6 +92,10 @@ func (s *Server) RestoreState(g *store.Generation) (int, error) {
 			e.guard = guard
 		}
 		s.cache.install(e)
+		// Compiled networks are never serialized (cachedMask carries only
+		// masks); restored entries recompile asynchronously and serve
+		// masked until their plan is ready.
+		s.compiler.enqueue(e)
 		restored++
 	}
 	s.st.noteCheckpoint(g.Number)

@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"capnn/internal/core"
+	"capnn/internal/store"
+)
+
+// Compiled dispatch must return exactly the bytes masked inference
+// returns — the serving-tier face of the nn.Compile bit-identity
+// invariant — and the stats must show the requests moving to the
+// compiled path once compilation lands.
+func TestCompiledDispatchBitIdentical(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond, DisableGuard: true})
+	defer srv.Close()
+
+	prefs := core.Uniform([]int{0, 1})
+	x := f.sample(t, 0)
+	first, err := srv.Infer(prefs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	second, err := srv.Infer(prefs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first.Logits {
+		if math.Float64bits(first.Logits[i]) != math.Float64bits(second.Logits[i]) {
+			t.Fatalf("logit %d changed after compile: %v vs %v", i, first.Logits[i], second.Logits[i])
+		}
+	}
+	// Reference: the masked forward under the entry's own masks.
+	entries := srv.cache.snapshot()
+	if len(entries) != 1 {
+		t.Fatalf("cache holds %d entries, want 1", len(entries))
+	}
+	batch := x.MustReshape(append([]int{1}, x.Shape()...)...)
+	want := f.sys.Net.Infer(batch, entries[0].masks)
+	for i, v := range want.Data() {
+		if math.Float64bits(v) != math.Float64bits(second.Logits[i]) {
+			t.Fatalf("compiled logit %d differs from masked reference", i)
+		}
+	}
+	st := srv.Stats()
+	if st.Compiles == 0 || st.CompileErrors != 0 {
+		t.Fatalf("compiles=%d errors=%d, want >0 and 0", st.Compiles, st.CompileErrors)
+	}
+	if st.CompiledDispatched == 0 {
+		t.Fatal("no compiled dispatches after CompileWait")
+	}
+	if st.CompiledBytes <= 0 || st.CompiledEntries != 1 {
+		t.Fatalf("compiled resident bytes=%d entries=%d, want >0 and 1", st.CompiledBytes, st.CompiledEntries)
+	}
+}
+
+// A byte budget smaller than one compiled net evicts the compiled form
+// but keeps the masks: the entry stays cached, keeps serving (masked),
+// and a later hit re-queues a compile on demand.
+func TestCompiledBudgetEvictionKeepsMasks(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond,
+		DisableGuard: true, CompiledBudgetBytes: 1})
+	defer srv.Close()
+
+	prefs := core.Uniform([]int{0, 1})
+	if _, err := srv.Infer(prefs, f.sample(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.CompiledEvictions == 0 {
+		t.Fatal("no budget eviction despite 1-byte budget")
+	}
+	if st.CompiledBytes != 0 || st.CompiledEntries != 0 {
+		t.Fatalf("resident bytes=%d entries=%d after eviction, want 0/0", st.CompiledBytes, st.CompiledEntries)
+	}
+	if st.CacheEntries != 1 {
+		t.Fatalf("cache entries %d after compiled eviction, want 1 (masks must stay)", st.CacheEntries)
+	}
+	// Still serves, on the masked path.
+	if _, err := srv.Infer(prefs, f.sample(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats(); got.MaskedFallback == 0 {
+		t.Fatal("no masked fallback counted after compiled eviction")
+	}
+	// The hit above re-queued a demand compile (which the budget evicts
+	// again — the accounting must stay consistent, not leak).
+	if err := srv.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats(); got.Compiles < 2 {
+		t.Fatalf("compiles=%d, want ≥2 (demand recompile after eviction)", got.Compiles)
+	}
+	if got := srv.Stats(); got.CompiledBytes != 0 {
+		t.Fatalf("resident bytes=%d, want 0 (budget)", got.CompiledBytes)
+	}
+}
+
+// DisableCompile serves everything masked: no compiles, no resident
+// bytes, and the fallback counter carries the personalized traffic.
+func TestCompileDisabled(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond,
+		DisableGuard: true, DisableCompile: true})
+	defer srv.Close()
+	if _, err := srv.Infer(core.Uniform([]int{0, 1}), f.sample(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CompileWait(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Stats()
+	if st.Compiles != 0 || st.CompiledBytes != 0 || st.CompiledDispatched != 0 {
+		t.Fatalf("disabled compile left traces: compiles=%d bytes=%d dispatched=%d",
+			st.Compiles, st.CompiledBytes, st.CompiledDispatched)
+	}
+	if st.MaskedFallback == 0 {
+		t.Fatal("personalized request not counted as masked fallback")
+	}
+}
+
+// Checkpoint restore must recompile resident entries (compiled nets are
+// never serialized) so a restarted server reaches compiled dispatch
+// without waiting for traffic.
+func TestRestoreStateRecompiles(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond, DisableGuard: true})
+	defer srv.Close()
+	prefs := core.Uniform([]int{2, 3})
+	if _, err := srv.Infer(prefs, f.sample(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, err := st.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SaveState(txn); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := st.Latest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv2 := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond, DisableGuard: true})
+	defer srv2.Close()
+	if _, err := srv2.RestoreState(gen); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv2.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	snap := srv2.Stats()
+	if snap.CompiledEntries == 0 || snap.CompiledBytes <= 0 {
+		t.Fatalf("restore did not recompile: entries=%d bytes=%d", snap.CompiledEntries, snap.CompiledBytes)
+	}
+	// The restored entry's first request dispatches compiled and matches
+	// the pre-restart masked answer bitwise.
+	x := f.sample(t, 2)
+	want, err := srv.InferVariant(core.VariantW, prefs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv2.InferVariant(core.VariantW, prefs, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Logits {
+		if math.Float64bits(want.Logits[i]) != math.Float64bits(got.Logits[i]) {
+			t.Fatalf("restored compiled logit %d differs from original", i)
+		}
+	}
+	if post := srv2.Stats(); post.CompiledDispatched == 0 {
+		t.Fatal("restored entry did not dispatch compiled")
+	}
+}
+
+// Replacing an entry (the heal path publishes a fresh entry under the
+// original key) must release the old compiled form's accounting.
+func TestInstallReleasesReplacedCompiled(t *testing.T) {
+	f := getFixture(t)
+	srv := NewServerWith(f.sys, Config{Variant: core.VariantW, MaxBatch: 2, MaxWait: time.Millisecond, DisableGuard: true})
+	defer srv.Close()
+	if _, err := srv.Infer(core.Uniform([]int{0, 2}), f.sample(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	old := srv.cache.snapshot()[0]
+	if srv.compiler.resident() <= 0 {
+		t.Fatal("no resident compiled bytes before replacement")
+	}
+	fresh := &maskEntry{key: old.key, variant: old.variant, prefs: old.prefs, masks: old.masks}
+	srv.cache.install(fresh)
+	if old.compiled.Load() != nil {
+		t.Fatal("replaced entry kept its compiled pointer")
+	}
+	if got := srv.compiler.resident(); got != 0 {
+		t.Fatalf("resident bytes %d after replacement, want 0 (fresh entry not yet compiled)", got)
+	}
+	// LRU eviction releases the same way.
+	srv.compiler.enqueue(fresh)
+	if err := srv.CompileWait(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if srv.compiler.resident() <= 0 {
+		t.Fatal("fresh entry did not compile")
+	}
+	srv.cache.evictAllForTest()
+	if got := srv.compiler.resident(); got != 0 {
+		t.Fatalf("resident bytes %d after LRU drop, want 0", got)
+	}
+}
+
+// evictAllForTest drops every cache entry through the same locked path
+// LRU eviction uses, firing onDrop for each.
+func (c *maskCache) evictAllForTest() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	saved := c.cap
+	c.cap = 0
+	c.evictOverCapLocked()
+	c.cap = saved
+}

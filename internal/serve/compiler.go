@@ -1,0 +1,238 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"capnn/internal/nn"
+)
+
+// This file is the serving tier's compiled-inference machinery: an
+// asynchronous worker that turns a cached maskEntry's prune masks into a
+// physically compacted nn.Compiled (verified bit-identical to the masked
+// path by nn.Compile itself) and installs it on the entry, plus the byte
+// budget that bounds how much compiled weight memory stays resident.
+//
+// Compilation is deliberately off the request path: the first requests
+// for a personalization are served by the masked fallback while the
+// worker compiles, and the batcher switches to the compiled network the
+// moment the entry's pointer is published. A failed compile is permanent
+// for the entry (masked inference is always correct); a budget eviction
+// drops only the compiled form — the masks stay cached, and the next
+// cache hit re-enqueues a compile on demand.
+
+// Compile lifecycle states, held per maskEntry as an atomic so the hot
+// path never takes a lock to decide how to dispatch.
+const (
+	compileNone    int32 = iota // never queued (or queue was full; retried on a later hit)
+	compileQueued               // waiting for, or running on, the compile worker
+	compileReady                // entry.compiled holds a verified plan
+	compileFailed               // compile failed: masked fallback permanently
+	compileEvicted              // budget-evicted (or entry dropped); recompiled on demand
+)
+
+// compiler owns the single compile worker, the entry queue, and the
+// resident-bytes accounting. All methods are safe on a nil receiver —
+// that is the DisableCompile configuration.
+type compiler struct {
+	net    *nn.Network
+	cache  *maskCache
+	st     *stats
+	budget int64 // resident compiled-weight budget in bytes; <= 0 is unlimited
+
+	queue    chan *maskEntry
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	bytes   atomic.Int64 // resident compiled weight+bias bytes (approximate)
+	pending atomic.Int64 // enqueued-but-unfinished compiles
+}
+
+func newCompiler(net *nn.Network, cache *maskCache, st *stats, budget int64) *compiler {
+	c := &compiler{
+		net:    net,
+		cache:  cache,
+		st:     st,
+		budget: budget,
+		queue:  make(chan *maskEntry, 256),
+		stop:   make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.worker()
+	return c
+}
+
+// close stops the worker (idempotent — Shutdown may run twice). Entries
+// still queued stay in compileQueued and simply keep serving masked —
+// the server is shutting down anyway.
+func (c *compiler) close() {
+	if c == nil {
+		return
+	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+}
+
+// resident reports the approximate bytes of compiled weights in memory.
+func (c *compiler) resident() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.bytes.Load()
+}
+
+// readyEntries counts cache entries with a resident compiled form.
+func (c *compiler) readyEntries() int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range c.cache.snapshot() {
+		if e.compileSt.Load() == compileReady {
+			n++
+		}
+	}
+	return n
+}
+
+// enqueue schedules the first compile for a fresh entry. Non-blocking:
+// a full queue reverts the entry to compileNone so a later cache hit
+// retries; requests keep flowing on the masked path either way.
+func (c *compiler) enqueue(e *maskEntry) {
+	if c == nil || e == nil {
+		return
+	}
+	if !e.compileSt.CompareAndSwap(compileNone, compileQueued) {
+		return
+	}
+	c.push(e)
+}
+
+// ensure is the demand path, called on cache hits: it re-queues entries
+// whose compiled form was budget-evicted (hot again → recompile) and
+// entries whose first enqueue was dropped by a full queue.
+func (c *compiler) ensure(e *maskEntry) {
+	if c == nil || e == nil {
+		return
+	}
+	if !e.compileSt.CompareAndSwap(compileNone, compileQueued) &&
+		!e.compileSt.CompareAndSwap(compileEvicted, compileQueued) {
+		return
+	}
+	c.push(e)
+}
+
+func (c *compiler) push(e *maskEntry) {
+	c.pending.Add(1)
+	select {
+	case c.queue <- e:
+	default:
+		c.pending.Add(-1)
+		e.compileSt.Store(compileNone)
+	}
+}
+
+// release drops an entry's compiled form and accounting — the cache's
+// onDrop hook (LRU eviction, heal replacement) and the budget evictor.
+// Only atomics are touched, so it is safe under the cache lock.
+func (c *compiler) release(e *maskEntry) {
+	if c == nil || e == nil {
+		return
+	}
+	for {
+		st := e.compileSt.Load()
+		if st == compileEvicted || st == compileFailed {
+			return
+		}
+		if e.compileSt.CompareAndSwap(st, compileEvicted) {
+			if st == compileReady {
+				if p := e.compiled.Swap(nil); p != nil {
+					c.bytes.Add(-p.Bytes())
+				}
+			}
+			return
+		}
+	}
+}
+
+// wait blocks until every queued compile has finished (ready or failed),
+// for tests and benchmarks that want deterministic compiled dispatch.
+func (c *compiler) wait(timeout time.Duration) error {
+	if c == nil {
+		return nil
+	}
+	deadline := time.Now().Add(timeout)
+	for c.pending.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: %d compiles still pending after %v", c.pending.Load(), timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+func (c *compiler) worker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case e := <-c.queue:
+			c.compileEntry(e)
+			c.pending.Add(-1)
+		}
+	}
+}
+
+// compileEntry runs one compile and publishes the result. The pointer is
+// stored before the queued→ready transition so a concurrent release
+// (entry dropped mid-compile) either wins the CAS — and the plan is
+// discarded here, unaccounted — or runs after it and releases normally.
+func (c *compiler) compileEntry(e *maskEntry) {
+	start := time.Now()
+	compiled, err := nn.Compile(c.net, e.masks)
+	c.st.compiled(time.Since(start), err)
+	if err != nil {
+		e.compileSt.Store(compileFailed)
+		c.st.events.Record("compile-failed", e.key, err.Error(), nil)
+		return
+	}
+	e.compiled.Store(compiled)
+	if !e.compileSt.CompareAndSwap(compileQueued, compileReady) {
+		e.compiled.Store(nil)
+		return
+	}
+	c.bytes.Add(compiled.Bytes())
+	c.evictToFit(e)
+}
+
+// evictToFit enforces the byte budget after an install: compiled forms
+// are dropped in cache-LRU order (coldest first, masks kept) until the
+// resident total fits. A single entry larger than the whole budget loses
+// its own compiled form — correctness never depends on compilation.
+func (c *compiler) evictToFit(keep *maskEntry) {
+	if c.budget <= 0 || c.bytes.Load() <= c.budget {
+		return
+	}
+	for _, victim := range c.cache.snapshot() { // least recently used first
+		if c.bytes.Load() <= c.budget {
+			return
+		}
+		if victim == keep {
+			continue
+		}
+		if victim.compileSt.Load() == compileReady {
+			c.release(victim)
+			c.st.compiledEvicted()
+			c.st.events.Record("compiled-evicted", victim.key, "compiled-bytes budget", nil)
+		}
+	}
+	if c.bytes.Load() > c.budget {
+		c.release(keep)
+		c.st.compiledEvicted()
+		c.st.events.Record("compiled-evicted", keep.key, "entry alone exceeds compiled-bytes budget", nil)
+	}
+}

@@ -73,6 +73,16 @@ type Config struct {
 	ReadTimeout, WriteTimeout time.Duration
 	MaxRequestBytes           int64
 
+	// DisableCompile turns compiled inference off: every personalized
+	// group is served by masked inference on the base network, as before
+	// the compiled pipeline existed.
+	DisableCompile bool
+	// CompiledBudgetBytes bounds the resident compiled-weight memory
+	// across cache entries; past it, compiled forms are evicted coldest
+	// first (the masks stay cached and serve masked until re-compiled on
+	// demand). Zero takes the default 512 MiB; negative is unlimited.
+	CompiledBudgetBytes int64
+
 	// DisableGuard turns the runtime ε-guard off entirely (no shadow
 	// sampling, no fallback, no heals).
 	DisableGuard bool
@@ -121,6 +131,8 @@ func DefaultConfig() Config {
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      30 * time.Second,
 		MaxRequestBytes:   1 << 20,
+
+		CompiledBudgetBytes: 512 << 20,
 
 		GuardSampleEvery: 8,
 		GuardWindow:      256,
@@ -175,6 +187,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = d.MaxRequestBytes
+	}
+	if c.CompiledBudgetBytes == 0 {
+		c.CompiledBudgetBytes = d.CompiledBudgetBytes
 	}
 	if c.GuardSampleEvery <= 0 {
 		c.GuardSampleEvery = d.GuardSampleEvery
@@ -249,6 +264,10 @@ type Server struct {
 	cache  *maskCache
 	batch  *batcher
 
+	// compiler is the async compiled-inference worker; nil when
+	// DisableCompile is set (all its methods are nil-safe no-ops).
+	compiler *compiler
+
 	// personalizeMu serializes System.Prune runs: the pruning algorithms
 	// share the system's suffix evaluator and mutate masks on the shared
 	// network while measuring candidates. Inference (mask-as-argument
@@ -310,6 +329,18 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
 	}
+	if !cfg.DisableCompile {
+		s.compiler = newCompiler(sys.Net, s.cache, st, cfg.CompiledBudgetBytes)
+		// Entries leaving the cache (LRU eviction, heal replacement)
+		// release their compiled form's memory accounting.
+		s.cache.onDrop = s.compiler.release
+	}
+	reg.GaugeFunc("capnn_serve_compiled_bytes", "Approximate resident compiled-weight bytes.", func() float64 {
+		return float64(s.compiler.resident())
+	})
+	reg.GaugeFunc("capnn_serve_compiled_entries", "Cache entries with a resident compiled network.", func() float64 {
+		return float64(s.compiler.readyEntries())
+	})
 	// Breaker transitions become structured events; the counters come
 	// from the breaker's own snapshot below — one source, two surfaces.
 	s.breaker.onTransition = func(from, to BreakerState) {
@@ -379,6 +410,8 @@ func (s *Server) ownerCheckFn() func(string, uint64) cloud.Code {
 func (s *Server) Stats() Stats {
 	out := s.st.snapshot(s.cache.len(), s.batch.depth())
 	out.BreakerState, out.BreakerOpens, out.BreakerCloses, out.BreakerHalfOpens = s.breaker.snapshot()
+	out.CompiledBytes = s.compiler.resident()
+	out.CompiledEntries = s.compiler.readyEntries()
 	return out
 }
 
@@ -476,15 +509,20 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64, q Qo
 	// network: always after a trip (fallback), and periodically as a
 	// shadow sample whose prediction feeds the drift window. Unpruned
 	// traffic shares one batch group regardless of which entry sent it.
-	gkey, masks := entry.key, entry.masks
+	if hit {
+		// Demand path: a hot entry whose compiled form was budget-evicted
+		// (or whose first enqueue hit a full queue) gets re-queued.
+		s.compiler.ensure(entry)
+	}
+	gkey, masks, reqEntry := entry.key, entry.masks, entry
 	unpruned, fallback := entry.guard.admit()
 	if unpruned {
-		gkey, masks = unprunedKey, nil
+		gkey, masks, reqEntry = unprunedKey, nil, nil
 		if fallback {
 			s.st.fallbackServed()
 		}
 	}
-	req := &request{gkey: gkey, masks: masks, x: x, enqueued: time.Now(),
+	req := &request{gkey: gkey, masks: masks, entry: reqEntry, x: x, enqueued: time.Now(),
 		deadline: effDeadline, lane: q.Lane, done: make(chan outcome, 1)}
 	if err := s.batch.submit(req); err != nil {
 		return Result{}, err.(*Error)
@@ -560,7 +598,17 @@ func (s *Server) personalize(v core.Variant, prefs core.Preferences, key string)
 		}
 		e.guard = g
 	}
+	// Queue the compile off the request path: first requests serve masked
+	// while the worker compacts. Covers fresh fills and heals alike.
+	s.compiler.enqueue(e)
 	return e, nil
+}
+
+// CompileWait blocks until every queued compile has finished (ready or
+// failed) or the timeout passes — for tests and benchmarks that need
+// deterministic compiled dispatch. A no-op when compilation is disabled.
+func (s *Server) CompileWait(timeout time.Duration) error {
+	return s.compiler.wait(timeout)
 }
 
 // scheduleHeal spawns the repersonalization goroutine for a tripped
@@ -677,6 +725,7 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	// Flush whatever is still queued and stop the workers: admitted
 	// requests are answered even on a blown deadline.
 	s.batch.close()
+	s.compiler.close()
 	if drainErr != nil {
 		return drainErr
 	}

@@ -54,9 +54,23 @@ type Stats struct {
 	// Estimated per-stage tail latencies, interpolated from the same
 	// histograms a /metrics scrape exposes (zero when the stage never
 	// ran).
-	PersonalizeP99                 time.Duration
-	QueueWaitP99                   time.Duration
+	PersonalizeP99                     time.Duration
+	QueueWaitP99                       time.Duration
 	ForwardP50, ForwardP95, ForwardP99 time.Duration
+
+	// Compiled inference: Compiles counts finished compile attempts and
+	// CompileErrors the failed subset; CompiledDispatched / MaskedFallback
+	// count personalized requests served on a compiled network vs the
+	// masked base network (unpruned guard traffic counts under neither);
+	// CompiledEvictions counts compiled forms dropped by the byte budget
+	// (masks stay cached). CompiledBytes / CompiledEntries are the
+	// instantaneous resident compiled-weight bytes and entry count.
+	Compiles, CompileErrors            uint64
+	CompiledDispatched, MaskedFallback uint64
+	CompiledEvictions                  uint64
+	CompileNs                          int64
+	CompiledBytes                      int64
+	CompiledEntries                    int
 
 	// Self-healing: GuardTrips counts ε-guard trips (one per tripped
 	// entry); FallbackServed counts requests served through the
@@ -130,6 +144,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "batches=%d mean-batch=%.2f histogram=%s\n", s.Batches, s.MeanBatch(), s.histogram())
 	fmt.Fprintf(&b, "latency: personalize=%v queue-wait=%v forward=%v forward-p99=%v\n",
 		s.MeanPersonalize(), s.MeanQueueWait(), s.MeanForward(), s.ForwardP99.Round(time.Microsecond))
+	fmt.Fprintf(&b, "compile: runs=%d errors=%d dispatched=%d masked-fallback=%d evictions=%d resident=%dB/%d entries\n",
+		s.Compiles, s.CompileErrors, s.CompiledDispatched, s.MaskedFallback, s.CompiledEvictions, s.CompiledBytes, s.CompiledEntries)
 	fmt.Fprintf(&b, "guard: trips=%d fallback-served=%d heals=%d heal-failures=%d\n",
 		s.GuardTrips, s.FallbackServed, s.Heals, s.HealFailures)
 	fmt.Fprintf(&b, "breaker: state=%s opens=%d closes=%d half-opens=%d\n",
@@ -178,14 +194,18 @@ type stats struct {
 	reg    *metrics.Registry
 	events *metrics.EventLog
 
-	reqC, compC                    *metrics.Counter
-	shedVec                        *metrics.CounterVec
-	hitC, missC, sharedC, evictC   *metrics.Counter
-	batchH                         *metrics.Histogram
-	persH, waitH, fwdH             *metrics.Histogram
-	guardC, fallbackC              *metrics.Counter
-	healC, healFailC               *metrics.Counter
-	ckptErrC                       *metrics.Counter
+	reqC, compC                  *metrics.Counter
+	shedVec                      *metrics.CounterVec
+	hitC, missC, sharedC, evictC *metrics.Counter
+	batchH                       *metrics.Histogram
+	persH, waitH, fwdH           *metrics.Histogram
+	guardC, fallbackC            *metrics.Counter
+	healC, healFailC             *metrics.Counter
+	ckptErrC                     *metrics.Counter
+	compileC, compileErrC        *metrics.Counter
+	compileH                     *metrics.Histogram
+	compDispC, maskFbC           *metrics.Counter
+	compEvictC                   *metrics.Counter
 
 	mu                sync.Mutex
 	batchSizes        map[int]uint64 // exact flushed-size histogram (buckets would lose sizes)
@@ -224,6 +244,13 @@ func newStatsOn(reg *metrics.Registry, events *metrics.EventLog) *stats {
 		healC:     reg.Counter("capnn_serve_heals_total", "Repersonalizations published by the heal path."),
 		healFailC: reg.Counter("capnn_serve_heal_failures_total", "Failed heal attempts (breaker-recorded)."),
 		ckptErrC:  reg.Counter("capnn_serve_checkpoint_errors_total", "Failed checkpoint attempts."),
+
+		compileC:    reg.Counter("capnn_serve_compile_total", "Finished mask-entry compile attempts."),
+		compileErrC: reg.Counter("capnn_serve_compile_errors_total", "Compile attempts that failed (entry serves masked permanently)."),
+		compileH:    reg.Histogram("capnn_serve_compile_latency_ns", "nn.Compile latency per mask entry.", metrics.LatencyBucketsNs()),
+		compDispC:   reg.Counter("capnn_serve_compiled_dispatch_total", "Personalized requests served on a compiled network."),
+		maskFbC:     reg.Counter("capnn_serve_masked_fallback_total", "Personalized requests served by masked fallback (compile pending, failed, evicted, or disabled)."),
+		compEvictC:  reg.Counter("capnn_serve_compiled_evictions_total", "Compiled forms dropped by the byte budget (masks stay cached)."),
 
 		batchSizes: map[int]uint64{},
 	}
@@ -278,6 +305,13 @@ func (st *stats) snapshot(cacheEntries, queueDepth int) Stats {
 		ForwardP50:     time.Duration(fwd.Quantile(0.50)),
 		ForwardP95:     time.Duration(fwd.Quantile(0.95)),
 		ForwardP99:     time.Duration(fwd.Quantile(0.99)),
+
+		Compiles:           st.compileC.Value(),
+		CompileErrors:      st.compileErrC.Value(),
+		CompileNs:          int64(st.compileH.Sum()),
+		CompiledDispatched: st.compDispC.Value(),
+		MaskedFallback:     st.maskFbC.Value(),
+		CompiledEvictions:  st.compEvictC.Value(),
 
 		GuardTrips:     st.guardC.Value(),
 		FallbackServed: st.fallbackC.Value(),
@@ -350,6 +384,19 @@ func (st *stats) flushed(size int, queueWait []time.Duration, forward time.Durat
 	st.batchSizes[size]++
 	st.mu.Unlock()
 }
+
+// compiled records one finished compile attempt and its latency.
+func (st *stats) compiled(d time.Duration, err error) {
+	st.compileC.Inc()
+	st.compileH.Observe(float64(d))
+	if err != nil {
+		st.compileErrC.Inc()
+	}
+}
+
+func (st *stats) compiledDispatched(n int) { st.compDispC.Add(uint64(n)) }
+func (st *stats) maskedFallback(n int)     { st.maskFbC.Add(uint64(n)) }
+func (st *stats) compiledEvicted()         { st.compEvictC.Inc() }
 
 func (st *stats) guardTripped()   { st.guardC.Inc() }
 func (st *stats) fallbackServed() { st.fallbackC.Inc() }
