@@ -37,6 +37,15 @@
 //
 //	capnn-gateway -metrics-addr 127.0.0.1:9878 -nodes ...
 //
+// The metrics listener also carries the membership admin surface:
+// POST /admin/ring/join?node=HOST:PORT and /admin/ring/leave?node=...
+// drive elastic scaling at runtime — the joiner is preflight-probed,
+// the keys that change owner get their warm mask-cache entries handed
+// over (bounded by -handoff-timeout, best-effort), the cluster epoch
+// flips, and the new view is broadcast to every shard's fence:
+//
+//	curl -X POST 'http://127.0.0.1:9878/admin/ring/join?node=127.0.0.1:7882'
+//
 // Like the other binaries it can injure its own client-facing
 // transport for resilience testing (-chaos "seed=7,drop=0.1,..."). On
 // SIGINT/SIGTERM it drains: stops accepting, sheds new requests with
@@ -119,6 +128,7 @@ func main() {
 	statsEvery := flag.Duration("stats-every", 0, "periodically print a stats snapshot (0 = only at shutdown)")
 	stateDir := flag.String("state", "", "ring-config store directory: restore placement from the latest good generation and persist membership changes (empty = stateless)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "bound on draining in-flight connections at shutdown")
+	handoffTimeout := flag.Duration("handoff-timeout", 10*time.Second, "bound on the warm-cache handoff a join/leave runs before flipping the epoch (best-effort; missed keys refill cold)")
 	quotaInteractive := flag.String("quota-interactive", "", "default per-tenant interactive-lane quota as rate[:burst] requests/s (empty = unlimited)")
 	quotaBulk := flag.String("quota-bulk", "", "default per-tenant bulk-lane quota as rate[:burst] requests/s (empty = unlimited)")
 	var tenantQuotas tenantQuotaFlags
@@ -159,6 +169,7 @@ func main() {
 		AttemptTimeout: *attemptTimeout,
 		Admission:      admission,
 		CollectEvery:   *collectEvery,
+		HandoffTimeout: *handoffTimeout,
 	}
 	g, err := cluster.NewGateway(nodes, cfg)
 	if err != nil {
@@ -200,6 +211,7 @@ func main() {
 	if *metricsAddr != "" {
 		mux := metrics.NewMux(g.Metrics(), g.Events())
 		mux.Handle("/debug/cluster", metrics.JSONHandler(func() any { return g.ClusterView() }))
+		g.MountAdmin(mux)
 		maddr, stopMetrics, err := metrics.Serve(*metricsAddr, mux)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "capnn-gateway: metrics listener: %v\n", err)

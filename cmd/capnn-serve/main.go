@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"capnn/internal/cluster"
 	"capnn/internal/core"
 	"capnn/internal/exp"
 	"capnn/internal/faults"
@@ -139,6 +140,15 @@ func main() {
 		GuardWindow:         *guardWindow,
 		GuardSlack:          *guardSlack,
 	})
+	// Cluster fence: a gateway's ring broadcasts (OpRingUpdate) install a
+	// local copy of the membership here, and every routed request's
+	// placement stamp is judged against it — stale epochs and misrouted
+	// keys bounce back as typed codes the gateway retries on its fresh
+	// ring. Standalone deployments never receive a broadcast, so the
+	// fence stays empty and admits everything.
+	fence := cluster.NewFence()
+	srv.SetOwnerCheck(fence.Check)
+	srv.SetRingUpdate(fence.Apply)
 
 	var st *store.Store
 	if *stateDir != "" {

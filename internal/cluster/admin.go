@@ -1,0 +1,49 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"capnn/internal/metrics"
+)
+
+// MountAdmin registers the gateway's membership-change endpoints on an
+// observability mux (alongside /metrics and /debug):
+//
+//	POST /admin/ring/join?node=HOST:PORT   AddNode
+//	POST /admin/ring/leave?node=HOST:PORT  RemoveNode
+//
+// Both answer the post-change view as JSON. The surface is operational,
+// not public — it rides the metrics listener, which deployments already
+// keep off the client-facing network.
+func (g *Gateway) MountAdmin(mux *metrics.Mux) {
+	mux.HandleFunc("/admin/ring/join", g.adminRingChange((*Gateway).AddNode))
+	mux.HandleFunc("/admin/ring/leave", g.adminRingChange((*Gateway).RemoveNode))
+}
+
+// adminRingChange wraps one membership operation as an HTTP handler.
+func (g *Gateway) adminRingChange(op func(*Gateway, string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "use POST", http.StatusMethodNotAllowed)
+			return
+		}
+		node := r.URL.Query().Get("node")
+		if node == "" {
+			http.Error(w, "missing ?node=HOST:PORT", http.StatusBadRequest)
+			return
+		}
+		if err := op(g, node); err != nil {
+			// Membership errors are operator mistakes (unknown node,
+			// duplicate join, unreachable joiner), not server faults.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		ring := g.ring.Load()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(struct {
+			Epoch   uint64   `json:"epoch"`
+			Members []string `json:"members"`
+		}{Epoch: ring.Epoch(), Members: ring.Nodes()})
+	}
+}

@@ -71,6 +71,22 @@ type Config struct {
 	// is unlimited everywhere — admission control off.
 	Admission qos.LimiterConfig
 
+	// HandoffTimeout bounds the warm-state handoff a membership change
+	// runs before flipping the epoch: export the outgoing owner's mask
+	// cache, import the moved keys into their new owners. Strictly
+	// best-effort — at the deadline the transfer is abandoned and the
+	// epoch flips anyway (missed keys refill as cache misses). Default
+	// 10s. DisableHandoff skips the transfer entirely.
+	HandoffTimeout time.Duration
+	DisableHandoff bool
+	// DisableJoinProbe skips AddNode's preflight health probe (tests
+	// that join unreachable placeholder nodes set it). In production the
+	// probe both refuses a sick joiner — which would otherwise blackhole
+	// its share of the keyspace until the breaker caught up — and
+	// pre-seeds the joiner's breaker with a real success before any
+	// client request risks it.
+	DisableJoinProbe bool
+
 	// CollectEvery is the shard-telemetry sampling period feeding the
 	// anomaly detector (OpStats scrape per member shard). Negative
 	// disables collection entirely (tests drive it manually). Default 2s.
@@ -95,6 +111,7 @@ func DefaultConfig() Config {
 		ReadTimeout:     30 * time.Second,
 		WriteTimeout:    30 * time.Second,
 		MaxRequestBytes: 1 << 20,
+		HandoffTimeout:  10 * time.Second,
 		CollectEvery:    2 * time.Second,
 	}
 }
@@ -142,6 +159,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxRequestBytes <= 0 {
 		c.MaxRequestBytes = d.MaxRequestBytes
+	}
+	if c.HandoffTimeout <= 0 {
+		c.HandoffTimeout = d.HandoffTimeout
 	}
 	if c.CollectEvery == 0 {
 		c.CollectEvery = d.CollectEvery
@@ -218,6 +238,9 @@ func NewGateway(nodes []string, cfg Config) (*Gateway, error) {
 	}
 	reg.GaugeFunc("capnn_gateway_ring_version", "Current membership version.", func() float64 {
 		return float64(g.ring.Load().Version())
+	})
+	reg.GaugeFunc("capnn_gateway_ring_epoch", "Current cluster epoch (monotone; every routed request is stamped with it).", func() float64 {
+		return float64(g.ring.Load().Epoch())
 	})
 	reg.GaugeFunc("capnn_gateway_ring_members", "Current serve-node count.", func() float64 {
 		return float64(len(g.ring.Load().Nodes()))
@@ -312,36 +335,92 @@ func (g *Gateway) node(addr string) *nodeState {
 	return g.nodes[addr]
 }
 
-// AddNode joins a serve node: a new ring version is published and the
-// node starts receiving its share of the keyspace. Persisted when a
-// store is attached.
+// AddNode joins a serve node: preflight-probe it (a sick joiner is
+// refused before it can blackhole its share of the keyspace, and a
+// healthy one enters the ring with its breaker pre-seeded by a real
+// success), warm-hand the keys it takes over from their current
+// owners, flip the epoch, broadcast the new view to every member, and
+// persist. The flip is the only synchronization point routing sees:
+// requests racing the join route on one immutable ring or the other,
+// and the fence/retry path absorbs the difference.
 func (g *Gateway) AddNode(addr string) error {
 	g.memberMu.Lock()
 	defer g.memberMu.Unlock()
-	next, err := g.ring.Load().Add(addr)
+	cur := g.ring.Load()
+	next, err := cur.Add(addr)
 	if err != nil {
 		return err
 	}
 	g.nodesMu.Lock()
-	if _, ok := g.nodes[addr]; !ok {
-		g.nodes[addr] = g.newNodeState(addr)
+	ns, existed := g.nodes[addr]
+	if !existed {
+		ns = g.newNodeState(addr)
+		g.nodes[addr] = ns
 	}
 	g.nodesMu.Unlock()
+	if !g.cfg.DisableJoinProbe {
+		if err := g.preflight(ns); err != nil {
+			if !existed {
+				g.nodesMu.Lock()
+				delete(g.nodes, addr)
+				g.nodesMu.Unlock()
+				ns.pool.closeAll()
+			}
+			return fmt.Errorf("cluster: join %s refused: %w", addr, err)
+		}
+	}
+	if !g.cfg.DisableHandoff {
+		g.handoff(cur, next, cur.Nodes(), "join")
+	}
 	g.ring.Store(next)
+	g.st.ringChanged("join", addr, next)
+	g.broadcastRing(next)
 	return g.persistLocked()
 }
 
-// RemoveNode departs a serve node gracefully: the ring stops routing
-// new requests to it immediately (version+1), its pooled idle
-// connections are closed, and requests already in flight finish on the
-// connections they hold — the node itself then drains via its own
-// Shutdown path. Persisted when a store is attached.
+// preflight runs AddNode's qualifying health probe against a joiner,
+// feeding the outcome (and RTT) into its breaker exactly like the
+// steady-state prober does.
+func (g *Gateway) preflight(ns *nodeState) error {
+	start := time.Now()
+	pc, err := ns.pool.get()
+	if err != nil {
+		ns.health.probed(false, 0)
+		return err
+	}
+	req := &serve.WireRequest{Version: cloud.ProtocolVersion, Op: serve.OpHealth}
+	resp, err := pc.roundTrip(req, start.Add(g.cfg.ProbeTimeout))
+	if err != nil {
+		pc.close()
+		ns.health.probed(false, 0)
+		return err
+	}
+	ns.pool.put(pc)
+	ok := resp.Code == cloud.CodeOK
+	ns.health.probed(ok, time.Since(start))
+	if !ok {
+		return fmt.Errorf("health probe: [%s] %s", resp.Code, resp.Err)
+	}
+	return nil
+}
+
+// RemoveNode departs a serve node: its warm cache is handed to the
+// survivors that take over its keys (best-effort — a dead node just
+// fails the export and its keys refill cold), then the ring stops
+// routing to it (epoch+1), its pooled idle connections close, the new
+// view is broadcast, and the configuration persists. Requests already
+// in flight finish on the connections they hold — the node itself then
+// drains via its own Shutdown path.
 func (g *Gateway) RemoveNode(addr string) error {
 	g.memberMu.Lock()
 	defer g.memberMu.Unlock()
-	next, err := g.ring.Load().Remove(addr)
+	cur := g.ring.Load()
+	next, err := cur.Remove(addr)
 	if err != nil {
 		return err
+	}
+	if !g.cfg.DisableHandoff {
+		g.handoff(cur, next, []string{addr}, "leave")
 	}
 	g.ring.Store(next)
 	g.nodesMu.Lock()
@@ -351,6 +430,8 @@ func (g *Gateway) RemoveNode(addr string) error {
 	if ns != nil {
 		ns.pool.closeAll()
 	}
+	g.st.ringChanged("leave", addr, next)
+	g.broadcastRing(next)
 	return g.persistLocked()
 }
 
@@ -384,7 +465,10 @@ func (g *Gateway) UseStore(st *store.Store) (bool, error) {
 }
 
 // RestoreRingConfig replaces the gateway's ring and membership with a
-// persisted configuration.
+// persisted configuration, then broadcasts the restored view. A
+// configuration older than the live epoch is rejected: epochs are the
+// cluster's fencing tokens, and rolling one back would let requests
+// stamped under the regressed epoch sail past every stale-epoch fence.
 func (g *Gateway) RestoreRingConfig(rc store.RingConfig) error {
 	ring, err := NewRing(rc.Seed, rc.VirtualNodes, rc.Nodes)
 	if err != nil {
@@ -395,6 +479,9 @@ func (g *Gateway) RestoreRingConfig(rc store.RingConfig) error {
 	}
 	g.memberMu.Lock()
 	defer g.memberMu.Unlock()
+	if cur := g.ring.Load(); rc.Version < cur.Epoch() {
+		return fmt.Errorf("cluster: refusing ring config epoch regression (%d < live %d)", rc.Version, cur.Epoch())
+	}
 	g.cfg.Seed = rc.Seed
 	g.cfg.VirtualNodes = rc.VirtualNodes
 	if rc.Replication > 0 {
@@ -419,6 +506,8 @@ func (g *Gateway) RestoreRingConfig(rc store.RingConfig) error {
 	for _, ns := range old {
 		ns.pool.closeAll()
 	}
+	g.st.ringChanged("restore", "", ring)
+	g.broadcastRing(ring)
 	return nil
 }
 

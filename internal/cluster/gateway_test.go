@@ -430,6 +430,8 @@ func TestGatewayRingPersistence(t *testing.T) {
 	cfg := testGWConfig()
 	cfg.Seed = 11
 	cfg.ProbeEvery = time.Hour // members are fake addresses; keep the prober quiet
+	cfg.DisableJoinProbe = true
+	cfg.DisableHandoff = true
 	g1, err := NewGateway([]string{"s1:1", "s2:1"}, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -451,6 +453,8 @@ func TestGatewayRingPersistence(t *testing.T) {
 	cfg2 := testGWConfig()
 	cfg2.Seed = 99 // deliberately wrong: the persisted seed must win
 	cfg2.ProbeEvery = time.Hour
+	cfg2.DisableJoinProbe = true
+	cfg2.DisableHandoff = true
 	g2, err := NewGateway([]string{"s1:1"}, cfg2)
 	if err != nil {
 		t.Fatal(err)

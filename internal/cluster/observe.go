@@ -178,10 +178,19 @@ func (o *observer) status() map[string]anomaly.Verdict { return o.det.Status() }
 // ClusterView is the gateway's /debug/cluster document: membership,
 // per-node health, and the anomaly detector's current verdicts.
 type ClusterView struct {
-	RingVersion uint64                     `json:"ring_version"`
-	Members     []string                   `json:"members"`
-	Nodes       map[string]NodeView        `json:"nodes"`
-	Anomalies   map[string]anomaly.Verdict `json:"anomalies,omitempty"`
+	RingVersion uint64   `json:"ring_version"`
+	Epoch       uint64   `json:"epoch"`
+	Members     []string `json:"members"`
+
+	// Rebalancing totals (across join/leave): keys whose owner changed,
+	// warm entries installed by handoff, handoffs abandoned to cold
+	// refill.
+	KeysMoved       uint64 `json:"keys_moved"`
+	HandoffEntries  uint64 `json:"handoff_entries"`
+	HandoffFailures uint64 `json:"handoff_failures"`
+
+	Nodes     map[string]NodeView        `json:"nodes"`
+	Anomalies map[string]anomaly.Verdict `json:"anomalies,omitempty"`
 }
 
 // NodeView is one node's health as JSON.
@@ -200,9 +209,13 @@ type NodeView struct {
 func (g *Gateway) ClusterView() ClusterView {
 	st := g.Stats()
 	view := ClusterView{
-		RingVersion: st.RingVersion,
-		Members:     st.Members,
-		Nodes:       make(map[string]NodeView, len(st.Nodes)),
+		RingVersion:     st.RingVersion,
+		Epoch:           st.RingVersion,
+		Members:         st.Members,
+		KeysMoved:       st.KeysMoved,
+		HandoffEntries:  st.HandoffEntries,
+		HandoffFailures: st.HandoffFailures,
+		Nodes:           make(map[string]NodeView, len(st.Nodes)),
 	}
 	for addr, ns := range st.Nodes {
 		view.Nodes[addr] = NodeView{

@@ -127,6 +127,14 @@ func (r *Ring) hashString(s string) uint64 {
 // circle at any version).
 func (r *Ring) Version() uint64 { return r.version }
 
+// Epoch is the cluster epoch — an alias for Version under the name the
+// membership protocol uses. Every wire request is stamped with the
+// sender's epoch, serve-side fences reject requests routed under an
+// older epoch with CodeRingChanged, and the gateway retries them on the
+// fresh ring. Monotone across restarts (persisted in store.RingConfig;
+// RestoreRingConfig rejects regressions).
+func (r *Ring) Epoch() uint64 { return r.version }
+
 // Nodes returns the sorted member set (callers must not mutate).
 func (r *Ring) Nodes() []string { return r.nodes }
 

@@ -147,6 +147,51 @@ func TestRingMembership(t *testing.T) {
 	}
 }
 
+// TestRingBoundedMovement pins the rebalancing invariant behind warm
+// handoff: when a node joins, the only keys whose primary owner changes
+// are the ones moving TO the joiner; when a node leaves, only the keys
+// it owned move (to survivors). Unmoved vnode ranges keep their golden
+// placement bit-identically, and each change bumps the epoch by one.
+func TestRingBoundedMovement(t *testing.T) {
+	r3, err := NewRing(7, 64, []string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := r3.Add("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := r3.Remove("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Epoch() != r3.Epoch()+1 || r2.Epoch() != r3.Epoch()+1 {
+		t.Fatalf("epochs: base=%d join=%d leave=%d, want +1 per change", r3.Epoch(), r4.Epoch(), r2.Epoch())
+	}
+	joined, left := 0, 0
+	for i := 0; i < 4000; i++ {
+		key := fmt.Sprintf("key-%06d", i)
+		base := r3.Owner(key)
+		if after := r4.Owner(key); after != base {
+			if after != "d" {
+				t.Fatalf("join moved %s from %s to %s — not to the joiner", key, base, after)
+			}
+			joined++
+		}
+		if after := r2.Owner(key); after != base {
+			if base != "b" {
+				t.Fatalf("leave moved %s from survivor %s to %s", key, base, after)
+			}
+			left++
+		}
+	}
+	// Sanity that the invariant was actually exercised: both changes
+	// must move a nontrivial share of the keyspace (~1/4 and ~1/3).
+	if joined == 0 || left == 0 {
+		t.Fatalf("joined=%d left=%d keys moved of 4000; the membership changes moved nothing", joined, left)
+	}
+}
+
 // TestRingLookupAllocFree: the hot routing path must not allocate.
 func TestRingLookupAllocFree(t *testing.T) {
 	r := mustRing(t, 9, DefaultVirtualNodes, []string{"a:1", "b:1", "c:1", "d:1", "e:1"})

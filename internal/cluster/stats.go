@@ -34,6 +34,13 @@ type Stats struct {
 	// CodeRingChanged) that forced a re-route on a fresh ring.
 	Retries, Failovers, WrongOwner uint64
 
+	// Rebalancing (summed across join/leave reasons): KeysMoved counts
+	// cached placement keys whose primary owner changed across an epoch
+	// flip, HandoffEntries the warm entries the new owners actually
+	// installed, HandoffFailures the export/import attempts abandoned to
+	// cache-miss refill.
+	KeysMoved, HandoffEntries, HandoffFailures uint64
+
 	// Tenants maps "tenant/lane" to that stream's admission outcomes —
 	// the multi-tenant fairness view: which tenant is consuming quota
 	// and which is being shed.
@@ -85,7 +92,8 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "ring: version=%d members=%d\n", s.RingVersion, len(s.Members))
 	fmt.Fprintf(&b, "requests=%d completed=%d errors=%d shed=%d\n", s.Requests, s.Completed, s.Errors, s.Shed)
 	fmt.Fprintf(&b, "shed: over-quota=%d expired=%d\n", s.ShedOverQuota, s.ShedExpired)
-	fmt.Fprintf(&b, "routing: retries=%d failovers=%d wrong-owner=%d", s.Retries, s.Failovers, s.WrongOwner)
+	fmt.Fprintf(&b, "routing: retries=%d failovers=%d wrong-owner=%d\n", s.Retries, s.Failovers, s.WrongOwner)
+	fmt.Fprintf(&b, "rebalance: keys-moved=%d handoff-entries=%d handoff-failures=%d", s.KeysMoved, s.HandoffEntries, s.HandoffFailures)
 	tenants := make([]string, 0, len(s.Tenants))
 	for t := range s.Tenants {
 		tenants = append(tenants, t)
@@ -122,10 +130,12 @@ const (
 // always agree. Per-node counters live in each nodeHealth and are
 // exposed through a gather-time collector.
 type gstats struct {
-	reqC, compC, errC                *metrics.Counter
-	shedVec                          *metrics.CounterVec
-	retryC, failoverC, wrongOwnerC   *metrics.Counter
-	tenantAdmitVec, tenantShedVec    *metrics.CounterVec
+	reqC, compC, errC              *metrics.Counter
+	shedVec                        *metrics.CounterVec
+	retryC, failoverC, wrongOwnerC *metrics.Counter
+	tenantAdmitVec, tenantShedVec  *metrics.CounterVec
+
+	movedVec, handoffVec, handoffFailVec *metrics.CounterVec
 
 	events *metrics.EventLog
 }
@@ -144,12 +154,23 @@ func newGstats(reg *metrics.Registry, events *metrics.EventLog) *gstats {
 		tenantAdmitVec: reg.CounterVec("capnn_gateway_tenant_admitted_total", "Requests that passed a tenant's token bucket.", "tenant", "lane"),
 		tenantShedVec:  reg.CounterVec("capnn_gateway_tenant_shed_total", "Requests a tenant's token bucket refused.", "tenant", "lane"),
 
+		movedVec:       reg.CounterVec("capnn_gateway_keys_moved_total", "Cached placement keys whose primary owner changed across an epoch flip, by reason.", "reason"),
+		handoffVec:     reg.CounterVec("capnn_gateway_handoff_entries_total", "Warm cache entries installed on new owners during rebalancing, by reason.", "reason"),
+		handoffFailVec: reg.CounterVec("capnn_gateway_handoff_failures_total", "Handoff export/import attempts abandoned to cache-miss refill, by reason.", "reason"),
+
 		events: events,
 	}
 	// Pre-seed the shed reasons so the series exist before the first
 	// shed (the cluster smoke test greps a mid-load scrape for them).
 	for _, reason := range []string{gwShedDraining, gwShedOverQuota, gwShedExpired} {
 		st.shedVec.With(reason)
+	}
+	// Likewise the rebalance families, so the smoke test's scrapes see
+	// zero-valued series before the first membership change.
+	for _, reason := range []string{"join", "leave"} {
+		st.movedVec.With(reason)
+		st.handoffVec.With(reason)
+		st.handoffFailVec.With(reason)
 	}
 	return st
 }
@@ -159,6 +180,33 @@ func (st *gstats) completed()  { st.compC.Inc() }
 func (st *gstats) errored()    { st.errC.Inc() }
 func (st *gstats) retried()    { st.retryC.Inc() }
 func (st *gstats) wrongOwner() { st.wrongOwnerC.Inc() }
+
+// ringChanged records an epoch flip as a structured event ("join",
+// "leave", "restore").
+func (st *gstats) ringChanged(reason, addr string, next *Ring) {
+	st.events.Record("ring-changed", addr,
+		fmt.Sprintf("%s: epoch %d, %d members", reason, next.Epoch(), next.Len()), nil)
+}
+
+// keysMoved / handoffEntries / handoffFailed record rebalancing
+// outcomes by reason; failures also leave a structured event since each
+// one is a range of keys degraded to cold refill.
+func (st *gstats) keysMoved(reason string, n int) {
+	if n > 0 {
+		st.movedVec.With(reason).Add(uint64(n))
+	}
+}
+
+func (st *gstats) handoffEntries(reason string, n int) {
+	if n > 0 {
+		st.handoffVec.With(reason).Add(uint64(n))
+	}
+}
+
+func (st *gstats) handoffFailed(reason, addr, msg string) {
+	st.handoffFailVec.With(reason).Inc()
+	st.events.Record("handoff-failed", addr, reason+": "+msg, nil)
+}
 
 func (st *gstats) failedOver(addr string) {
 	st.failoverC.Inc()
@@ -203,6 +251,9 @@ func (st *gstats) snapshot() Stats {
 		Tenants: map[string]TenantStats{},
 	}
 	out.Shed = st.shedVec.With(gwShedDraining).Value() + out.ShedOverQuota + out.ShedExpired
+	st.movedVec.Each(func(_ []string, n uint64) { out.KeysMoved += n })
+	st.handoffVec.Each(func(_ []string, n uint64) { out.HandoffEntries += n })
+	st.handoffFailVec.Each(func(_ []string, n uint64) { out.HandoffFailures += n })
 	st.tenantAdmitVec.Each(func(values []string, n uint64) {
 		key := values[0] + "/" + values[1]
 		ts := out.Tenants[key]

@@ -3,23 +3,8 @@ package serve
 import (
 	"fmt"
 
-	"capnn/internal/core"
 	"capnn/internal/store"
 )
-
-// cachedMask is the durable form of one maskEntry: enough to rebuild
-// the entry (and a fresh guard) on restore. Guard windows are runtime
-// state and deliberately not persisted — after a restart the traffic
-// mix must be re-observed before any trip decision.
-type cachedMask struct {
-	Key         string
-	Variant     string
-	Classes     []int
-	Weights     []float64
-	Masks       map[int][]bool
-	PrunedUnits int
-	TotalUnits  int
-}
 
 // SaveState stages the server's durable state into an open store
 // transaction: the base model weights, the firing-rate profile, and a
@@ -37,10 +22,14 @@ func (s *Server) SaveState(txn *store.Txn) error {
 	if err := txn.PutRates(s.sys.Rates); err != nil {
 		return err
 	}
+	// The checkpointed cache is the same transferable form a warm
+	// handoff streams (handoff.go): guard windows are runtime state and
+	// deliberately absent — after a restart the traffic mix must be
+	// re-observed before any trip decision.
 	entries := s.cache.snapshot()
-	cms := make([]cachedMask, 0, len(entries))
+	cms := make([]CachedMask, 0, len(entries))
 	for _, e := range entries {
-		cms = append(cms, cachedMask{
+		cms = append(cms, CachedMask{
 			Key:         e.key,
 			Variant:     string(e.variant),
 			Classes:     e.prefs.Classes,
@@ -64,32 +53,15 @@ func (s *Server) RestoreState(g *store.Generation) (int, error) {
 		s.st.noteCheckpoint(g.Number)
 		return 0, nil
 	}
-	var cms []cachedMask
+	var cms []CachedMask
 	if err := g.Gob(store.ArtifactMaskCache, &cms); err != nil {
 		return 0, err
 	}
 	restored := 0
 	for _, cm := range cms {
-		prefs, err := core.Weighted(cm.Classes, cm.Weights)
+		e, err := s.entryFromCached(cm)
 		if err != nil {
-			return restored, fmt.Errorf("serve: restore %q: %w", cm.Key, err)
-		}
-		prefs.Normalize()
-		e := &maskEntry{
-			key:         cm.Key,
-			variant:     core.Variant(cm.Variant),
-			prefs:       prefs,
-			masks:       cm.Masks,
-			prunedUnits: cm.PrunedUnits,
-			totalUnits:  cm.TotalUnits,
-		}
-		if !s.cfg.DisableGuard {
-			guard, err := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
-				s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
-			if err != nil {
-				return restored, fmt.Errorf("serve: restore %q: %w", cm.Key, err)
-			}
-			e.guard = guard
+			return restored, fmt.Errorf("serve: restore: %w", err)
 		}
 		s.cache.install(e)
 		// Compiled networks are never serialized (cachedMask carries only

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"capnn/internal/cloud"
+	"capnn/internal/core"
+)
+
+// Warm mask-cache handoff: when cluster membership changes, the keys
+// that move to a new owner would cold-start there — every affected user
+// pays a full repersonalization. Instead the gateway exports the
+// outgoing owner's cache (OpCacheExport), filters it down to the moved
+// key range, and imports it into the incoming owner (OpCacheImport)
+// before the ring epoch flips. CachedMask is the transferable form —
+// the same shape checkpoints persist: masks travel, compiled networks
+// never do (the importer re-enqueues compilation), and guard windows
+// start fresh (the new owner must observe its own traffic mix before
+// any trip decision).
+
+// CachedMask is one mask-cache entry in durable/transferable form:
+// enough to rebuild the entry (and a fresh guard) on restore or import.
+type CachedMask struct {
+	Key         string
+	Variant     string
+	Classes     []int
+	Weights     []float64
+	Masks       map[int][]bool
+	PrunedUnits int
+	TotalUnits  int
+}
+
+// entryFromCached rebuilds a live cache entry from its transferable
+// form, with a fresh guard when guarding is enabled.
+func (s *Server) entryFromCached(cm CachedMask) (*maskEntry, error) {
+	prefs, err := core.Weighted(cm.Classes, cm.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("serve: entry %q: %w", cm.Key, err)
+	}
+	prefs.Normalize()
+	e := &maskEntry{
+		key:         cm.Key,
+		variant:     core.Variant(cm.Variant),
+		prefs:       prefs,
+		masks:       cm.Masks,
+		prunedUnits: cm.PrunedUnits,
+		totalUnits:  cm.TotalUnits,
+	}
+	if !s.cfg.DisableGuard {
+		guard, err := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
+			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
+		if err != nil {
+			return nil, fmt.Errorf("serve: entry %q: %w", cm.Key, err)
+		}
+		e.guard = guard
+	}
+	return e, nil
+}
+
+// ExportMasks snapshots the resident mask cache in transferable form,
+// least recently used first (so an importer that re-installs in order
+// reproduces the recency).
+func (s *Server) ExportMasks() []CachedMask {
+	entries := s.cache.snapshot()
+	cms := make([]CachedMask, 0, len(entries))
+	for _, e := range entries {
+		cms = append(cms, CachedMask{
+			Key:         e.key,
+			Variant:     string(e.variant),
+			Classes:     e.prefs.Classes,
+			Weights:     e.prefs.Weights,
+			Masks:       e.masks,
+			PrunedUnits: e.prunedUnits,
+			TotalUnits:  e.totalUnits,
+		})
+	}
+	s.st.handoffExported(len(cms))
+	return cms
+}
+
+// ImportMasks installs transferred entries into the cache and returns
+// how many were installed. Keys the cache already holds are kept — the
+// resident entry may be fresher (a heal published against observed
+// traffic) than the mover's copy. Imported entries recompile
+// asynchronously and serve masked until their plan is ready. A malformed
+// entry aborts the import with an error; entries installed before it
+// stay installed.
+func (s *Server) ImportMasks(cms []CachedMask) (int, error) {
+	imported := 0
+	for _, cm := range cms {
+		e, err := s.entryFromCached(cm)
+		if err != nil {
+			return imported, err
+		}
+		if !s.cache.installIfAbsent(e) {
+			continue
+		}
+		s.compiler.enqueue(e)
+		imported++
+	}
+	if imported > 0 {
+		s.st.handoffImported(imported)
+		s.events.Record("handoff", "", fmt.Sprintf("imported %d warm entries", imported), nil)
+	}
+	return imported, nil
+}
+
+// handleCacheExport answers OpCacheExport with the gob-encoded cache
+// snapshot in the response payload.
+func (s *Server) handleCacheExport() *WireResponse {
+	cms := s.ExportMasks()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cms); err != nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal,
+			Err: fmt.Sprintf("encode cache export: %v", err)}
+	}
+	return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK,
+		Batch: len(cms), Payload: buf.Bytes()}
+}
+
+// handleCacheImport decodes and installs an OpCacheImport payload; the
+// response's Batch reports the installed count.
+func (s *Server) handleCacheImport(req WireRequest) *WireResponse {
+	var cms []CachedMask
+	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&cms); err != nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("decode cache import: %v", err)}
+	}
+	n, err := s.ImportMasks(cms)
+	if err != nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal,
+			Err: fmt.Sprintf("import after %d entries: %v", n, err), Batch: n}
+	}
+	return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK, Batch: n}
+}
+
+// handleRingUpdate decodes an OpRingUpdate payload and hands it to the
+// installed ring-update handler. A node without one — a standalone
+// server no cluster supervises — acknowledges and ignores the view.
+func (s *Server) handleRingUpdate(req WireRequest) *WireResponse {
+	var upd RingUpdate
+	if err := gob.NewDecoder(bytes.NewReader(req.Payload)).Decode(&upd); err != nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
+			Err: fmt.Sprintf("decode ring update: %v", err)}
+	}
+	h := s.ringUpdateFn()
+	if h == nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK}
+	}
+	if err := h(upd); err != nil {
+		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeInternal,
+			Err: fmt.Sprintf("ring update: %v", err)}
+	}
+	s.events.Record("ring-changed", "", fmt.Sprintf("installed epoch %d (%d members)", upd.Epoch, len(upd.Members)), nil)
+	return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK}
+}

@@ -35,6 +35,24 @@ const (
 	// is accepting work, CodeBusy when it is draining. Gateways drive
 	// their per-node breaker state off this op.
 	OpHealth
+	// OpRingUpdate installs a new cluster membership view (RingUpdate,
+	// gob in the request payload) on the node's ring-update handler —
+	// the fence a gateway arms so the node can reject keys it no longer
+	// owns after an epoch flip. A node without a handler acknowledges
+	// and ignores it.
+	OpRingUpdate
+	// OpCacheExport streams the node's warm mask-cache state out: the
+	// response payload is a gob []CachedMask snapshot. A rebalancing
+	// gateway exports the outgoing owner's entries before it flips the
+	// ring epoch, so moved keys stay warm instead of cold-starting.
+	OpCacheExport
+	// OpCacheImport installs exported entries (gob []CachedMask in the
+	// request payload) into this node's cache — the receiving half of a
+	// warm handoff. Entries the node already holds are kept, not
+	// clobbered; imported entries get fresh guards and recompile
+	// asynchronously. The response's Batch field reports the count
+	// actually installed.
+	OpCacheImport
 )
 
 // WireRequest is one inference over the wire: the user's preferences
@@ -77,6 +95,34 @@ type WireRequest struct {
 	BudgetMicros int64
 	Tenant       string
 	Lane         int
+
+	// Payload is the op-specific, gob-encoded extension blob mirroring
+	// WireResponse.Payload: OpRingUpdate carries a RingUpdate here,
+	// OpCacheImport a []CachedMask. Nil for the classic ops, and gob
+	// decodes the missing field to nil on old frames, so pre-handoff
+	// peers interoperate unchanged.
+	Payload []byte
+}
+
+// RingUpdate is the membership view a gateway broadcasts to every serve
+// node after an epoch flip (OpRingUpdate). It carries everything needed
+// to rebuild the placement function locally — consistent-hash placement
+// is a pure function of (seed, vnodes, member set) — plus You, the
+// receiving node's own routed address, so the node can judge ownership
+// without knowing how the gateway dialed it. The serve tier treats this
+// as opaque configuration; internal/cluster interprets it.
+type RingUpdate struct {
+	// Epoch is the monotone membership version the view was published
+	// under; wire requests are stamped with the sender's epoch and
+	// fenced against it.
+	Epoch        uint64
+	Seed         int64
+	VirtualNodes int
+	Replication  int
+	// Members is the sorted member address list.
+	Members []string
+	// You is the receiving node's address as the ring knows it.
+	You string
 }
 
 // WireResponse carries the logits or a typed error.
@@ -207,6 +253,17 @@ func (s *Server) Handle(req WireRequest) *WireResponse {
 			return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy, Err: "server draining"}
 		}
 		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeOK}
+	case OpRingUpdate:
+		return s.handleRingUpdate(req)
+	case OpCacheExport:
+		// Export stays available while draining: a departing node
+		// handing its warm state off is exactly the drain scenario.
+		return s.handleCacheExport()
+	case OpCacheImport:
+		if s.isDraining() {
+			return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBusy, Err: "server draining"}
+		}
+		return s.handleCacheImport(req)
 	default:
 		return &WireResponse{Version: cloud.ProtocolVersion, Code: cloud.CodeBadRequest,
 			Err: fmt.Sprintf("unknown op %d", req.Op)}

@@ -279,8 +279,12 @@ type Server struct {
 
 	// ownerCheck, when installed, judges gateway-routed requests'
 	// placement metadata (RouteKey, RingVersion) before serving them.
+	// ringUpdate, when installed, receives membership views broadcast by
+	// a gateway (OpRingUpdate) — typically the other half of the same
+	// fence ownerCheck consults.
 	ownerMu    sync.RWMutex
 	ownerCheck func(routeKey string, ringVersion uint64) cloud.Code
+	ringUpdate func(RingUpdate) error
 
 	// hookPersonalize, when set by tests, observes every System.Prune
 	// execution (not cache hits or singleflight joins). hookHealed
@@ -404,6 +408,23 @@ func (s *Server) ownerCheckFn() func(string, uint64) cloud.Code {
 	s.ownerMu.RLock()
 	defer s.ownerMu.RUnlock()
 	return s.ownerCheck
+}
+
+// SetRingUpdate installs (or, with nil, removes) the handler OpRingUpdate
+// frames are delivered to: a gateway broadcasts its membership view after
+// every epoch flip, and the handler (cluster.Fence.Apply in production
+// wiring) rebuilds the local placement function the owner check fences
+// with. A server without a handler acknowledges and ignores the op.
+func (s *Server) SetRingUpdate(handler func(RingUpdate) error) {
+	s.ownerMu.Lock()
+	s.ringUpdate = handler
+	s.ownerMu.Unlock()
+}
+
+func (s *Server) ringUpdateFn() func(RingUpdate) error {
+	s.ownerMu.RLock()
+	defer s.ownerMu.RUnlock()
+	return s.ringUpdate
 }
 
 // Stats snapshots the serving metrics.

@@ -13,6 +13,13 @@
 #   (d) compiled inference is live on a surviving shard: its compiled
 #       dispatch counter increases across the run with zero compile
 #       errors, and compiled weights are resident under the budget.
+# An elastic-scale phase stands up a fresh cluster and scales it
+# 3 -> 5 -> 2 shards under sustained load via the gateway's admin
+# surface, asserting zero client-visible failures, the epoch gauge
+# advancing in /metrics with every membership change, warm mask-cache
+# handoff onto joiners, and a held cache-hit floor — including a
+# kill -9 of an outgoing owner mid-handoff that must converge as
+# counted handoff failures, never as request failures.
 # A final bulk-flood phase stands up a fresh quota'd cluster and
 # asserts the QoS contract: a flooding bulk tenant is shed with typed
 # over-quota answers while interactive traffic serves inside its
@@ -80,6 +87,12 @@ wait_maddr() {
 # metric_val NAME FILE: value of an unlabeled series in a /metrics dump.
 metric_val() {
     awk -v m="$1" '$1 == m {print $2; exit}' "$2"
+}
+
+# metric_sum PREFIX FILE: sum over every series whose name starts with
+# PREFIX (use "name{" to total a labeled family across label values).
+metric_sum() {
+    awk -v m="$1" 'index($1, m) == 1 {s += $2} END {printf "%d\n", s}' "$2"
 }
 
 echo "cluster_smoke: phase 1 — start 3 serve shards (shard 1 with chaos) + gateway"
@@ -258,7 +271,147 @@ grep -Eq "failovers=[1-9]" "$WORKDIR/stats.log" || {
 grep -q "state=open" "$WORKDIR/stats.log" || {
     echo "cluster_smoke: FAIL: dead shard's breaker never opened"; exit 1; }
 
-echo "cluster_smoke: phase 6 — bulk flood: quota'd bulk tenant saturates 3 fresh shards"
+echo "cluster_smoke: phase 6 — elastic scale: 3 -> 5 -> 2 shards under sustained load"
+# A fresh cluster reshapes itself while a client drives load through
+# the gateway the whole time. The elasticity contract:
+#   - every membership change advances the epoch gauge in /metrics,
+#   - keys whose owner changes arrive warm on the joiner (handoff
+#     imports visible on the joiner's /metrics), holding the cache-hit
+#     floor: each of the 8 user personalizations is computed once at
+#     warm-up and at most refilled once per survivor after the kill,
+#   - a kill -9 of an outgoing owner mid-handoff degrades to counted
+#     handoff failures plus cold refills — the epoch still flips and
+#     the client never sees a failure.
+E_NODE_ADDRS=(); E_NODE_MADDRS=(); E_NODE_PIDS=()
+for i in 0 1 2 3 4; do
+    "$WORKDIR/capnn-serve" -addr 127.0.0.1:0 -model "$MODEL" -no-guard \
+        -request-timeout 100s -metrics-addr 127.0.0.1:0 \
+        >"$WORKDIR/eserve$i.log" 2>&1 &
+    E_NODE_PIDS+=($!)
+    PIDS+=($!)
+done
+for i in 0 1 2 3 4; do
+    E_NODE_ADDRS+=("$(wait_addr "$WORKDIR/eserve$i.log")")
+    E_NODE_MADDRS+=("$(wait_maddr "$WORKDIR/eserve$i.log")")
+done
+"$WORKDIR/capnn-gateway" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 \
+    -nodes "${E_NODE_ADDRS[0]},${E_NODE_ADDRS[1]},${E_NODE_ADDRS[2]}" \
+    -probe-every 250ms -probe-timeout 1s -fail-threshold 2 -cooldown 2s \
+    -request-timeout 120s -attempt-timeout 60s -handoff-timeout 30s \
+    >"$WORKDIR/egateway.log" 2>&1 &
+PIDS+=($!)
+EGW_ADDR=$(wait_addr "$WORKDIR/egateway.log")
+EGW_MADDR=$(wait_maddr "$WORKDIR/egateway.log")
+echo "cluster_smoke: elastic gateway at $EGW_ADDR (metrics $EGW_MADDR), members ${E_NODE_ADDRS[0]} ${E_NODE_ADDRS[1]} ${E_NODE_ADDRS[2]}"
+
+# Warm through the gateway: each of the 8 user personalizations runs
+# exactly once, on its primary. Warm handoff must preserve that —
+# scaling out and back in may not re-run personalization for keys whose
+# entries can be moved.
+"$WORKDIR/capnn-loadgen" -addr "$EGW_ADDR" -model "$MODEL" -n 16 -users 8 \
+    -concurrency 8 -timeout 150s -progress-every 0 >"$WORKDIR/ewarm.log" 2>&1 || {
+    sed 's/^/  ewarm| /' "$WORKDIR/ewarm.log" | tail -5
+    echo "cluster_smoke: FAIL: elastic-cluster warm-up failed"; exit 1; }
+curl -sf "http://$EGW_MADDR/metrics" >"$WORKDIR/egw_metrics1.txt" || {
+    echo "cluster_smoke: FAIL: elastic gateway /metrics unreachable"; exit 1; }
+EPOCH1=$(metric_val capnn_gateway_ring_epoch "$WORKDIR/egw_metrics1.txt")
+[ "${EPOCH1:-missing}" = "1" ] || {
+    echo "cluster_smoke: FAIL: fresh ring epoch gauge is ${EPOCH1:-missing}, want 1"; exit 1; }
+
+"$WORKDIR/capnn-loadgen" -addr "$EGW_ADDR" -model "$MODEL" -n "$REQUESTS" \
+    -users 8 -concurrency 8 -timeout 150s -progress-every 25 >"$WORKDIR/eload.log" 2>&1 &
+ELOAD_PID=$!
+PIDS+=("$ELOAD_PID")
+# Let the load get demonstrably airborne before reshaping the cluster.
+for _ in $(seq 300); do
+    grep -q "progress" "$WORKDIR/eload.log" 2>/dev/null && break
+    kill -0 "$ELOAD_PID" 2>/dev/null || break
+    sleep 0.1
+done
+
+# Scale out 3 -> 5: each admin join preflight-probes the joiner, hands
+# the moved keys' warm cache entries over, flips the epoch, and
+# broadcasts the new ring to every shard's fence.
+for i in 3 4; do
+    curl -sf -X POST "http://$EGW_MADDR/admin/ring/join?node=${E_NODE_ADDRS[$i]}" \
+        >"$WORKDIR/ejoin$i.json" || {
+        echo "cluster_smoke: FAIL: admin join of shard $i refused"; exit 1; }
+done
+curl -sf "http://$EGW_MADDR/metrics" >"$WORKDIR/egw_metrics2.txt" || {
+    echo "cluster_smoke: FAIL: elastic gateway /metrics unreachable after joins"; exit 1; }
+EPOCH2=$(metric_val capnn_gateway_ring_epoch "$WORKDIR/egw_metrics2.txt")
+[ "${EPOCH2:-0}" = "3" ] || {
+    echo "cluster_smoke: FAIL: epoch gauge after two joins is ${EPOCH2:-missing}, want 3"; exit 1; }
+# Scrape the joiners before any of them is killed: if the ring moved
+# keys, at least one joiner must have received warm entries.
+MOVED=$(metric_sum "capnn_gateway_keys_moved_total{" "$WORKDIR/egw_metrics2.txt")
+curl -sf "http://${E_NODE_MADDRS[3]}/metrics" >"$WORKDIR/eserve3_metrics.txt" || true
+curl -sf "http://${E_NODE_MADDRS[4]}/metrics" >"$WORKDIR/eserve4_metrics.txt" || true
+IMP3=$(metric_val capnn_serve_handoff_imported_total "$WORKDIR/eserve3_metrics.txt"); IMP3=${IMP3:-0}
+IMP4=$(metric_val capnn_serve_handoff_imported_total "$WORKDIR/eserve4_metrics.txt"); IMP4=${IMP4:-0}
+if [ "$MOVED" -gt 0 ] && [ $((IMP3 + IMP4)) -eq 0 ]; then
+    echo "cluster_smoke: FAIL: joins moved $MOVED keys but no joiner imported warm entries"; exit 1
+fi
+echo "cluster_smoke: scaled 3 -> 5 (epoch $EPOCH2): $MOVED keys moved, joiners imported $((IMP3 + IMP4)) warm entries"
+
+# Scale in 5 -> 2. The first leave is the chaos case: kill -9 the
+# outgoing owner so its handoff export dies mid-flight — the leave must
+# still converge (handoff failures counted, epoch flipped, its keys
+# refill cold on the survivors) with zero client-visible failures.
+kill -9 "${E_NODE_PIDS[3]}" 2>/dev/null || true
+echo "cluster_smoke: killed joiner shard 3 (pid ${E_NODE_PIDS[3]}), leaving it mid-handoff"
+curl -sf -X POST "http://$EGW_MADDR/admin/ring/leave?node=${E_NODE_ADDRS[3]}" >/dev/null || {
+    echo "cluster_smoke: FAIL: leave of the killed shard did not converge"; exit 1; }
+for i in 4 1; do
+    curl -sf -X POST "http://$EGW_MADDR/admin/ring/leave?node=${E_NODE_ADDRS[$i]}" >/dev/null || {
+        echo "cluster_smoke: FAIL: admin leave of shard $i refused"; exit 1; }
+done
+
+if ! wait "$ELOAD_PID"; then
+    sed 's/^/  eload| /' "$WORKDIR/eload.log" | tail -8
+    echo "cluster_smoke: FAIL: client-visible failures while scaling 3 -> 5 -> 2"
+    exit 1
+fi
+sed 's/^/  eload| /' "$WORKDIR/eload.log" | tail -3
+grep -q ", 0 failed" "$WORKDIR/eload.log" || {
+    echo "cluster_smoke: FAIL: loadgen reported failures during elastic scaling"; exit 1; }
+
+# Post-scale burst: the two survivors now own the whole keyspace.
+"$WORKDIR/capnn-loadgen" -addr "$EGW_ADDR" -model "$MODEL" -n 16 -users 8 \
+    -concurrency 8 -timeout 150s -progress-every 0 >"$WORKDIR/epost.log" 2>&1 || {
+    sed 's/^/  epost| /' "$WORKDIR/epost.log" | tail -5
+    echo "cluster_smoke: FAIL: requests failed after scale-in to 2 shards"; exit 1; }
+
+curl -sf "http://$EGW_MADDR/metrics" >"$WORKDIR/egw_metrics3.txt" || {
+    echo "cluster_smoke: FAIL: elastic gateway /metrics unreachable after scale-in"; exit 1; }
+EPOCH3=$(metric_val capnn_gateway_ring_epoch "$WORKDIR/egw_metrics3.txt")
+[ "${EPOCH3:-0}" = "6" ] || {
+    echo "cluster_smoke: FAIL: final epoch gauge is ${EPOCH3:-missing}, want 6 (2 joins + 3 leaves)"; exit 1; }
+HFAIL=$(metric_sum "capnn_gateway_handoff_failures_total{" "$WORKDIR/egw_metrics3.txt")
+[ "$HFAIL" -ge 1 ] || {
+    echo "cluster_smoke: FAIL: kill -9 mid-handoff recorded no handoff failures"; exit 1; }
+curl -sf "http://$EGW_MADDR/debug/events" >"$WORKDIR/egw_events.json" || {
+    echo "cluster_smoke: FAIL: elastic gateway /debug/events unreachable"; exit 1; }
+grep -q '"ring-changed"' "$WORKDIR/egw_events.json" || {
+    echo "cluster_smoke: FAIL: no ring-changed events in /debug/events"; exit 1; }
+
+# Cache-hit floor: a key personalizes at most once per shard (entries
+# are never dropped below the cap), so across both survivors misses
+# stay <= 16 — and hits must dominate despite five topology changes.
+HITS=0; MISSES=0
+for i in 0 2; do
+    curl -sf "http://${E_NODE_MADDRS[$i]}/metrics" >"$WORKDIR/eserve${i}_final.txt" || {
+        echo "cluster_smoke: FAIL: survivor shard $i /metrics unreachable"; exit 1; }
+    HITS=$((HITS + $(metric_val capnn_serve_cache_hits_total "$WORKDIR/eserve${i}_final.txt")))
+    MISSES=$((MISSES + $(metric_val capnn_serve_cache_misses_total "$WORKDIR/eserve${i}_final.txt")))
+done
+[ "$MISSES" -le 16 ] || {
+    echo "cluster_smoke: FAIL: survivors personalized $MISSES times (cache-hit floor broken; want <= 16)"; exit 1; }
+[ $((HITS * 2)) -ge $((HITS + MISSES)) ] || {
+    echo "cluster_smoke: FAIL: survivor hit ratio under 50% (hits=$HITS misses=$MISSES)"; exit 1; }
+echo "cluster_smoke: elastic scaling ok (epoch 1 -> $EPOCH3, handoff failures $HFAIL, survivor hits=$HITS misses=$MISSES)"
+
+echo "cluster_smoke: phase 7 — bulk flood: quota'd bulk tenant saturates 3 fresh shards"
 # A bulk tenant floods a fresh 3-shard cluster through a gateway whose
 # bulk lane is quota'd to a near-zero refill (burst 10, 0.01/s), while
 # interactive traffic rides along with a real deadline budget. The QoS
