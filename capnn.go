@@ -50,6 +50,7 @@ import (
 	"capnn/internal/serve"
 	"capnn/internal/store"
 	"capnn/internal/train"
+	"capnn/internal/workload"
 )
 
 // --- parallelism --------------------------------------------------------------
@@ -509,6 +510,42 @@ type AnomalyVerdict = anomaly.Verdict
 // ClusterView is the gateway's /debug/cluster document: membership,
 // per-node health, and live anomaly verdicts.
 type ClusterView = cluster.ClusterView
+
+// --- workload modeling ---------------------------------------------------------
+
+// WorkloadConfig parameterizes the deterministic streaming workload
+// model: zipf user popularity over a (possibly huge) population,
+// preferences correlated with the dataset's confusion groups, and
+// class-skew drift.
+type WorkloadConfig = workload.Config
+
+// WorkloadModel compiles a WorkloadConfig into a replayable trace:
+// event i is a pure function of (config, i), so million-user traces
+// stream in O(1) memory and are bit-identical regardless of access
+// order or worker count.
+type WorkloadModel = workload.Model
+
+// WorkloadEvent is one trace event: the drawn user, the preferences
+// their device claims on the wire, the class of the input they send,
+// and whether the event sits in a drift window (claimed preferences
+// lagging the actual mix).
+type WorkloadEvent = workload.Event
+
+// WorkloadStream is a sequential cursor over a model's trace.
+type WorkloadStream = workload.Stream
+
+// WorkloadDrift shapes per-user preference drift: diurnal sway, usage
+// bursts, and sudden skew flips whose claimed preferences lag behind
+// the actual mix.
+type WorkloadDrift = workload.DriftConfig
+
+// NewWorkloadModel validates cfg and compiles the workload model.
+func NewWorkloadModel(cfg WorkloadConfig) (*WorkloadModel, error) { return workload.NewModel(cfg) }
+
+// ParseWorkloadDrift parses a -drift flag spec like
+// "flip=5000,lag=1000,diurnal=20000,burst-len=64" ("" or "off" =
+// stationary).
+func ParseWorkloadDrift(spec string) (WorkloadDrift, error) { return workload.ParseDrift(spec) }
 
 // --- crash-safe state store ---------------------------------------------------
 

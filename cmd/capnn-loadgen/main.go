@@ -30,6 +30,22 @@
 // while progress and human-readable lines move to stderr — so a
 // harness can `capnn-loadgen -json ... | jq .qps` without scraping
 // log text.
+//
+// The -workload flag picks the traffic model. "static" (default) keeps
+// the original fixed per-user preference vectors. "zipf" streams a
+// deterministic trace from internal/workload: zipf user popularity
+// over -users (which may be millions — events are generated on the
+// fly, never materialized), preferences correlated with the fixture's
+// confusion groups, and -drift class-skew drift (diurnal sway, bursts,
+// sudden flips; see workload.ParseDrift for the spec grammar). Every
+// run is seeded (-seed) and bit-reproducible: same flags, same trace,
+// same scorecard. Both modes emit the scorecard — distinct users, hit
+// ratio, personalize rate, in-preference share (the accuracy-vs-ε
+// proxy: fraction of OK answers whose class landed inside the claimed
+// preference set) and drift share — in the -json summary:
+//
+//	capnn-loadgen -workload zipf -users 1000000 -seed 7 \
+//	  -drift "flip=5000,lag=1000" -n 20000 -json
 package main
 
 import (
@@ -48,6 +64,7 @@ import (
 	"capnn/internal/exp"
 	"capnn/internal/qos"
 	"capnn/internal/serve"
+	"capnn/internal/workload"
 )
 
 // laneReport accumulates one lane's client-side view of the run.
@@ -96,6 +113,63 @@ func (r *laneReport) record(lat time.Duration, resp *serve.WireResponse, err err
 	}
 }
 
+// scoreboard accumulates the workload-model view of the run: which
+// users appeared, how often the serving tier answered from a warm mask
+// entry, and how the answers relate to what was asked for. in-pref
+// counts OK answers whose predicted class landed inside the request's
+// claimed preference set — under CAP'NN's contract in-preference
+// traffic degrades at most ε, so this share is the client-side
+// accuracy-vs-ε proxy. drifted counts requests whose generating event
+// was inside a drift window (claimed preferences lagging the actual
+// mix) at send time.
+type scoreboard struct {
+	mu      sync.Mutex
+	users   map[uint64]struct{}
+	ok      uint64
+	hits    uint64
+	inPref  uint64
+	drifted uint64
+}
+
+func newScoreboard() *scoreboard { return &scoreboard{users: map[uint64]struct{}{}} }
+
+func (s *scoreboard) record(user uint64, claimed []int, drifted bool, resp *serve.WireResponse, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users[user] = struct{}{}
+	if drifted {
+		s.drifted++
+	}
+	if err != nil || resp == nil || resp.Code != cloud.CodeOK {
+		return
+	}
+	s.ok++
+	if resp.CacheHit {
+		s.hits++
+	}
+	for _, c := range claimed {
+		if resp.Class == c {
+			s.inPref++
+			break
+		}
+	}
+}
+
+// ratio is n/d guarding the empty-run case.
+func ratio(n, d uint64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return float64(n) / float64(d)
+}
+
+func (s *scoreboard) summary(sent uint64) (distinct int, hitRatio, personalizeRate, inPrefShare, driftShare float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.users), ratio(s.hits, s.ok), ratio(s.ok-s.hits, s.ok),
+		ratio(s.inPref, s.ok), ratio(s.drifted, sent)
+}
+
 // percentile reports the p-th percentile over sorted latencies
 // (nearest-rank); zero with no samples.
 func percentile(sorted []time.Duration, p float64) time.Duration {
@@ -125,17 +199,29 @@ type laneJSON struct {
 	P99Ms         float64 `json:"p99_ms"`
 }
 
-// runJSON is the -json document: what the client population saw.
+// runJSON is the -json document: what the client population saw. The
+// scorecard block (workload through drift_share) is fully determined by
+// the flags plus the server's caching behavior — two runs of the same
+// seeded trace against equivalent clusters must produce identical
+// scorecards, which is what the smoke harness pins.
 type runJSON struct {
-	Target       string     `json:"target"`
-	Requests     uint64     `json:"requests"`
-	OK           uint64     `json:"ok"`
-	Shed         uint64     `json:"shed"`
-	Failed       uint64     `json:"failed"`
-	DurationMs   float64    `json:"duration_ms"`
-	QPS          float64    `json:"qps"`
-	Lanes        []laneJSON `json:"lanes"`
-	FirstFailure string     `json:"first_failure,omitempty"`
+	Target          string     `json:"target"`
+	Workload        string     `json:"workload"`
+	Seed            int64      `json:"seed"`
+	Users           int        `json:"users"`
+	DistinctUsers   int        `json:"distinct_users"`
+	Requests        uint64     `json:"requests"`
+	OK              uint64     `json:"ok"`
+	Shed            uint64     `json:"shed"`
+	Failed          uint64     `json:"failed"`
+	HitRatio        float64    `json:"hit_ratio"`
+	PersonalizeRate float64    `json:"personalize_rate"`
+	InPrefShare     float64    `json:"in_pref_share"`
+	DriftShare      float64    `json:"drift_share"`
+	DurationMs      float64    `json:"duration_ms"`
+	QPS             float64    `json:"qps"`
+	Lanes           []laneJSON `json:"lanes"`
+	FirstFailure    string     `json:"first_failure,omitempty"`
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
@@ -185,6 +271,10 @@ func main() {
 	bulkFrac := flag.Float64("bulk-frac", 0, "fraction of requests sent on the bulk lane [0,1]")
 	bulkTenant := flag.String("bulk-tenant", "", "tenant for bulk traffic (empty = same as -tenant)")
 	bulkBudget := flag.Duration("bulk-budget", 0, "per-request deadline budget for bulk traffic (0 = none)")
+	workloadKind := flag.String("workload", "static", `traffic model: "static" fixed per-user vectors or "zipf" streaming workload traces`)
+	seed := flag.Int64("seed", 1, "workload seed; same seed+flags replays the same trace bit-for-bit")
+	drift := flag.String("drift", "", `zipf-workload drift spec, e.g. "flip=5000,lag=1000,diurnal=20000" ("" or "off" = stationary)`)
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf exponent for user popularity (must be > 1)")
 	flag.Parse()
 
 	// With -json, stdout carries exactly one JSON document; everything
@@ -224,16 +314,67 @@ func main() {
 		os.Exit(1)
 	}
 	classes := cfg.Synth.Classes
-	reqs := make([]serve.WireRequest, *users)
-	for u := range reqs {
-		x, _ := fx.Sets.Test.Batch([]int{u % fx.Sets.Test.Len()})
-		reqs[u] = serve.WireRequest{
-			Version: cloud.ProtocolVersion,
-			Variant: *variant,
-			Classes: []int{u % classes, (u + 1) % classes},
-			Weights: []float64{1, 1 + float64(u/classes)},
-			Input:   x.Data(),
+
+	// buildReq produces request idx of the trace plus its scoreboard
+	// metadata (generating user, claimed preference classes, whether the
+	// event sat in a drift window). Both modes are pure functions of
+	// (flags, idx), so any worker may build any index — the trace is
+	// identical regardless of worker count or completion order.
+	var buildReq func(idx int) (req serve.WireRequest, user uint64, claimed []int, drifted bool)
+	switch *workloadKind {
+	case "static":
+		reqs := make([]serve.WireRequest, *users)
+		for u := range reqs {
+			x, _ := fx.Sets.Test.Batch([]int{u % fx.Sets.Test.Len()})
+			reqs[u] = serve.WireRequest{
+				Version: cloud.ProtocolVersion,
+				Variant: *variant,
+				Classes: []int{u % classes, (u + 1) % classes},
+				Weights: []float64{1, 1 + float64(u/classes)},
+				Input:   x.Data(),
+			}
 		}
+		buildReq = func(idx int) (serve.WireRequest, uint64, []int, bool) {
+			u := idx % len(reqs)
+			return reqs[u], uint64(u), reqs[u].Classes, false
+		}
+	case "zipf":
+		dc, err := workload.ParseDrift(*drift)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-loadgen: -drift: %v\n", err)
+			os.Exit(2)
+		}
+		model, err := workload.NewModel(workload.Config{
+			Users:   *users,
+			Classes: classes,
+			Groups:  cfg.Synth.ClassGroups(),
+			ZipfS:   *zipfS,
+			Drift:   dc,
+			Seed:    *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "capnn-loadgen: %v\n", err)
+			os.Exit(2)
+		}
+		// Per-class test-image pools: event i of class c deterministically
+		// replays image pool[c][i mod len] — inputs are as reproducible as
+		// the preference stream.
+		pools := fx.Sets.Test.ByClass()
+		buildReq = func(idx int) (serve.WireRequest, uint64, []int, bool) {
+			ev := model.At(uint64(idx))
+			pool := pools[ev.Class]
+			x, _ := fx.Sets.Test.Batch([]int{pool[int(ev.Index%uint64(len(pool)))]})
+			return serve.WireRequest{
+				Version: cloud.ProtocolVersion,
+				Variant: *variant,
+				Classes: ev.Prefs.Classes,
+				Weights: ev.Prefs.Weights,
+				Input:   x.Data(),
+			}, ev.User, ev.Prefs.Classes, ev.Drifted
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "capnn-loadgen: unknown -workload %q (want static or zipf)\n", *workloadKind)
+		os.Exit(2)
 	}
 
 	// Deterministic lane interleave: request index i is bulk when its
@@ -247,6 +388,7 @@ func main() {
 	}
 
 	reports := [2]*laneReport{{}, {}} // indexed by qos.Lane
+	board := newScoreboard()
 	runStart := time.Now()
 	var sentTotal uint64
 	var totalMu sync.Mutex
@@ -270,7 +412,7 @@ func main() {
 			c.RequestTimeout = *timeout
 			for i := 0; i < share; i++ {
 				idx := base + i
-				req := reqs[idx%len(reqs)]
+				req, user, claimed, drifted := buildReq(idx)
 				lane := qos.LaneInteractive
 				req.Tenant = *tenant
 				if *budget > 0 {
@@ -289,6 +431,7 @@ func main() {
 				}
 				start := time.Now()
 				resp, err := c.Infer(req)
+				board.record(user, claimed, drifted, resp, err)
 				hardFail, msg := reports[lane].record(time.Since(start), resp, err)
 				totalMu.Lock()
 				sentTotal++
@@ -315,16 +458,27 @@ func main() {
 		}
 	}
 	fmt.Fprintf(human, "capnn-loadgen: %d requests, %d ok, %d failed\n", sentTotal, okTotal, failedTotal)
+	distinct, hitRatio, personalizeRate, inPrefShare, driftShare := board.summary(sentTotal)
+	fmt.Fprintf(human, "capnn-loadgen: scorecard: workload=%s seed=%d distinct-users=%d hit-ratio=%.3f personalize-rate=%.3f in-pref-share=%.3f drift-share=%.3f\n",
+		*workloadKind, *seed, distinct, hitRatio, personalizeRate, inPrefShare, driftShare)
 	if *jsonOut {
 		doc := runJSON{
-			Target:       *addr,
-			Requests:     sentTotal,
-			OK:           okTotal,
-			Shed:         shedTotal,
-			Failed:       failedTotal,
-			DurationMs:   ms(elapsed),
-			QPS:          float64(sentTotal) / elapsed.Seconds(),
-			FirstFailure: firstFail,
+			Target:          *addr,
+			Workload:        *workloadKind,
+			Seed:            *seed,
+			Users:           *users,
+			DistinctUsers:   distinct,
+			Requests:        sentTotal,
+			OK:              okTotal,
+			Shed:            shedTotal,
+			Failed:          failedTotal,
+			HitRatio:        hitRatio,
+			PersonalizeRate: personalizeRate,
+			InPrefShare:     inPrefShare,
+			DriftShare:      driftShare,
+			DurationMs:      ms(elapsed),
+			QPS:             float64(sentTotal) / elapsed.Seconds(),
+			FirstFailure:    firstFail,
 		}
 		for lane, r := range reports {
 			if r.sent > 0 {

@@ -69,6 +69,18 @@ func (c SynthConfig) validate() error {
 	return nil
 }
 
+// ClassGroups returns the class→confusion-group mapping NewGenerator
+// uses, without building prototypes — the label structure consumers like
+// the workload engine correlate preferences over. Classes in the same
+// group share a base pattern and are mutually confusable.
+func (c SynthConfig) ClassGroups() []int {
+	groups := make([]int, c.Classes)
+	for cls := range groups {
+		groups[cls] = cls * c.Groups / c.Classes
+	}
+	return groups
+}
+
 // Generator produces samples for a fixed set of class prototypes.
 type Generator struct {
 	cfg    SynthConfig

@@ -87,9 +87,12 @@ func (c *maskCache) get(key string, fill func() (*maskEntry, error)) (*maskEntry
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
+		// Read the entry before unlocking: install may replace el.Value
+		// (heal publishing under the same key) the moment mu is free.
+		e := el.Value.(*maskEntry)
 		c.mu.Unlock()
 		c.st.cacheHit()
-		return el.Value.(*maskEntry), true, nil
+		return e, true, nil
 	}
 	if f, ok := c.flights[key]; ok {
 		c.mu.Unlock()

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"sync"
 
 	"capnn/internal/core"
@@ -38,6 +39,16 @@ type entryGuard struct {
 	minObs  int
 	every   int // shadow-sample every Nth request; ≤0 disables
 
+	// Proactive skew detection (SECS-style): the guard also watches the
+	// total-variation distance between the window's observed class
+	// distribution and the preferences the entry was personalized for.
+	// Crossing skewThreshold (after skewMinObs observations) signals a
+	// skew flip worth repersonalizing for *before* estimated degradation
+	// crosses the trip line. ≤0 disables.
+	skewThreshold float64
+	skewMinObs    int
+	claimed       []float64 // class → personalized-for preference weight
+
 	mu       sync.Mutex
 	win      *core.SlidingMonitor
 	inClass  []bool // class → in the entry's preference set
@@ -45,33 +56,54 @@ type entryGuard struct {
 	tripped  bool
 	healing  bool // a heal has been scheduled for this entry
 	estDeg   float64
-	fallback uint64 // requests this entry served unpruned after tripping
+	skewDist float64 // last computed observed-vs-claimed TV distance
+	fallback uint64  // requests this entry served unpruned after tripping
 }
 
-func newEntryGuard(prefs core.Preferences, classes int, epsilon, slack float64, window, minObs, every int) (*entryGuard, error) {
+// guardSignal is observe's verdict; the flags are mutually exclusive.
+type guardSignal struct {
+	// Trip: estimated degradation crossed ε + slack; the entry is now
+	// tripped (reported exactly once) and serves fallback.
+	Trip bool
+	// Skew: the observed class mix has drifted from the personalized-for
+	// preferences beyond the skew threshold; the entry is NOT tripped —
+	// the caller may proactively repersonalize. Unlike Trip this is
+	// level-triggered: it keeps firing while the condition holds and no
+	// heal is pending, so a gate-suppressed signal can refire (or give
+	// way to a trip once degradation itself crosses the line).
+	Skew bool
+}
+
+func newEntryGuard(prefs core.Preferences, classes int, epsilon, slack float64, window, minObs, every int, skewThreshold float64, skewMinObs int) (*entryGuard, error) {
 	win, err := core.NewSlidingMonitor(classes, window)
 	if err != nil {
 		return nil, err
 	}
 	in := make([]bool, classes)
-	for _, c := range prefs.Classes {
+	claimed := make([]float64, classes)
+	for i, c := range prefs.Classes {
 		in[c] = true
+		claimed[c] = prefs.Weights[i]
 	}
 	return &entryGuard{
-		epsilon: epsilon,
-		slack:   slack,
-		minObs:  minObs,
-		every:   every,
-		win:     win,
-		inClass: in,
+		epsilon:       epsilon,
+		slack:         slack,
+		minObs:        minObs,
+		every:         every,
+		skewThreshold: skewThreshold,
+		skewMinObs:    skewMinObs,
+		claimed:       claimed,
+		win:           win,
+		inClass:       in,
 	}, nil
 }
 
 // admit is called once per request for the entry, before dispatch. It
 // reports whether this request must be served through the unpruned
-// network (fallback after a trip, or a shadow sample) and whether its
-// top-1 prediction should be fed back via observe.
-func (g *entryGuard) admit() (unpruned, sample bool) {
+// network — and, distinctly, whether that is because the entry tripped
+// (fallback) rather than a routine shadow sample. All unpruned traffic
+// feeds observe either way.
+func (g *entryGuard) admit() (unpruned, fallback bool) {
 	if g == nil {
 		return false, false
 	}
@@ -89,29 +121,72 @@ func (g *entryGuard) admit() (unpruned, sample bool) {
 	g.seq++
 	if g.seq >= g.every {
 		g.seq = 0
-		return true, true
+		return true, false
 	}
 	return false, false
 }
 
 // observe feeds one shadow-sampled top-1 prediction into the window and
-// reports whether this observation tripped the guard (true exactly
-// once; the caller schedules the heal).
-func (g *entryGuard) observe(pred int) (tripped bool) {
+// judges it. While a heal is pending (proactive or trip-scheduled) the
+// guard stays quiet: the system has already reacted, and tripping an
+// entry mid-heal would put its users on fallback for masks that are
+// about to be replaced anyway. Should the heal fail, forceTrip restores
+// the fallback immediately.
+func (g *entryGuard) observe(pred int) guardSignal {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.win.Observe(pred) != nil {
-		return false // out-of-range prediction; nothing to learn
+		return guardSignal{} // out-of-range prediction; nothing to learn
 	}
-	if g.tripped || g.win.Total() < g.minObs {
+	if g.tripped || g.healing {
+		return guardSignal{}
+	}
+	total := g.win.Total()
+	if g.skewThreshold > 0 && total >= g.skewMinObs {
+		g.skewDist = g.skewDistanceLocked()
+		if g.skewDist > g.skewThreshold {
+			// Skew preempts the trip on this observation: the caller gets
+			// a chance to repersonalize proactively without the entry
+			// falling back. If it cannot act (gate suppression), the trip
+			// condition is re-judged on the next observation.
+			return guardSignal{Skew: true}
+		}
+	}
+	if total >= g.minObs {
+		g.estDeg = g.estimateLocked()
+		if g.estDeg > g.epsilon+g.slack {
+			g.tripped = true
+			return guardSignal{Trip: true}
+		}
+	}
+	return guardSignal{}
+}
+
+// skewDistanceLocked is the total-variation distance between the
+// window's observed class distribution and the claimed preference
+// weights: ½·Σ|observed − claimed| ∈ [0,1]. Zero means traffic matches
+// the personalization exactly; 1 means fully disjoint.
+func (g *entryGuard) skewDistanceLocked() float64 {
+	d := 0.0
+	for c := range g.claimed {
+		d += math.Abs(g.win.Share(c) - g.claimed[c])
+	}
+	return d / 2
+}
+
+// forceTrip puts the entry into tripped (fallback-serving) state without
+// a guard judgement — the safety valve when a proactive heal fails: the
+// trip was deferred on the promise of an imminent repersonalization, so
+// a failed attempt must restore the unpruned fallback at once. Reports
+// whether this call flipped the state.
+func (g *entryGuard) forceTrip() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.tripped {
 		return false
 	}
-	g.estDeg = g.estimateLocked()
-	if g.estDeg > g.epsilon+g.slack {
-		g.tripped = true
-		return true
-	}
-	return false
+	g.tripped = true
+	return true
 }
 
 // estimateLocked computes estDeg = ε·inShare + offShare over the window.

@@ -50,7 +50,8 @@ func (s *Server) entryFromCached(cm CachedMask) (*maskEntry, error) {
 	}
 	if !s.cfg.DisableGuard {
 		guard, err := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
-			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
+			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery,
+			s.skewThreshold(), s.cfg.SkewMinObs)
 		if err != nil {
 			return nil, fmt.Errorf("serve: entry %q: %w", cm.Key, err)
 		}

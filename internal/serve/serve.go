@@ -102,6 +102,26 @@ type Config struct {
 	// the guard trips (trip when estDeg > ε + slack). Default 0.05.
 	GuardSlack float64
 
+	// DisableProactive turns skew-driven proactive repersonalization off;
+	// the reactive ε-guard trip path is unaffected.
+	DisableProactive bool
+	// SkewThreshold is the total-variation distance between an entry's
+	// observed class distribution and its personalized-for preferences
+	// beyond which the guard signals a skew flip (the SECS dichotomy:
+	// react to the distribution change, not the accuracy damage it will
+	// cause). Must absorb sampling noise plus base-model error, or a
+	// stationary workload repersonalizes spuriously. Default 0.4.
+	SkewThreshold float64
+	// SkewMinObs defers skew judgement until the window holds this many
+	// observations. Keep it well under GuardMinObs — the proactive
+	// detector's whole point is reaching a verdict first. Default 32.
+	SkewMinObs int
+	// ProactiveInterval is the minimum spacing between proactive
+	// repersonalizations server-wide (the gate's hysteresis), so a drift
+	// storm flipping many entries at once cannot thrash the
+	// personalizer. Default 500ms.
+	ProactiveInterval time.Duration
+
 	// BreakerFailureRate opens the repersonalization breaker when the
 	// failure fraction over its rolling window reaches this. Default 0.5.
 	BreakerFailureRate float64
@@ -138,6 +158,10 @@ func DefaultConfig() Config {
 		GuardWindow:      256,
 		GuardMinObs:      64,
 		GuardSlack:       0.05,
+
+		SkewThreshold:     0.4,
+		SkewMinObs:        32,
+		ProactiveInterval: 500 * time.Millisecond,
 
 		BreakerFailureRate: 0.5,
 		BreakerWindow:      8,
@@ -202,6 +226,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GuardSlack <= 0 {
 		c.GuardSlack = d.GuardSlack
+	}
+	if c.SkewThreshold <= 0 {
+		c.SkewThreshold = d.SkewThreshold
+	}
+	if c.SkewMinObs <= 0 {
+		c.SkewMinObs = d.SkewMinObs
+	}
+	if c.ProactiveInterval <= 0 {
+		c.ProactiveInterval = d.ProactiveInterval
 	}
 	if c.BreakerFailureRate <= 0 {
 		c.BreakerFailureRate = d.BreakerFailureRate
@@ -277,6 +310,10 @@ type Server struct {
 	// breaker guards the repersonalization path taken by ε-guard heals.
 	breaker *breaker
 
+	// proactive gates skew-triggered repersonalizations; nil when
+	// DisableProactive is set (a nil gate allows nothing).
+	proactive *proactiveGate
+
 	// ownerCheck, when installed, judges gateway-routed requests'
 	// placement metadata (RouteKey, RingVersion) before serving them.
 	// ringUpdate, when installed, receives membership views broadcast by
@@ -332,6 +369,9 @@ func NewServerWith(sys *core.System, cfg Config) *Server {
 		batch:   newBatcher(sys.Net, cfg.MaxBatch, cfg.MaxWait, cfg.MaxQueue, bulkMax, cfg.Workers, cfg.EDFSlack, st),
 		breaker: newBreaker(cfg.BreakerFailureRate, cfg.BreakerWindow, cfg.BreakerMinSamples, cfg.BreakerCooldown),
 		drainCh: make(chan struct{}),
+	}
+	if !cfg.DisableProactive {
+		s.proactive = newProactiveGate(cfg.ProactiveInterval)
 	}
 	if !cfg.DisableCompile {
 		s.compiler = newCompiler(sys.Net, s.cache, st, cfg.CompiledBudgetBytes)
@@ -555,10 +595,26 @@ func (s *Server) infer(v core.Variant, prefs core.Preferences, x []float64, q Qo
 			return Result{}, out.err
 		}
 		class := tensor.Argmax(out.logits)
-		if unpruned && entry.guard != nil && entry.guard.observe(class) {
-			s.st.guardTripped()
-			s.events.Record("guard-trip", entry.key, "estimated degradation beyond epsilon", nil)
-			s.scheduleHeal(entry)
+		if unpruned && entry.guard != nil {
+			switch sig := entry.guard.observe(class); {
+			case sig.Skew:
+				// Proactive path: repersonalize while the entry still
+				// serves pruned masks — no fallback, no trip. The gate
+				// bounds how fast a drift storm can burn the
+				// personalizer; a suppressed entry keeps signalling and
+				// eventually either gets a token or degrades far enough
+				// for the reactive trip below.
+				if !s.proactive.allow() {
+					s.st.proactiveSuppressed()
+				} else if s.scheduleHeal(entry, healReasonSkew) {
+					s.st.skewDetected()
+					s.events.Record("skew-detect", entry.key, "observed class mix drifted from personalized-for preferences", nil)
+				}
+			case sig.Trip:
+				s.st.guardTripped()
+				s.events.Record("guard-trip", entry.key, "estimated degradation beyond epsilon", nil)
+				s.scheduleHeal(entry, healReasonGuardTrip)
+			}
 		}
 		return Result{
 			Logits:   out.logits,
@@ -613,7 +669,8 @@ func (s *Server) personalize(v core.Variant, prefs core.Preferences, key string)
 	}
 	if !s.cfg.DisableGuard {
 		g, gerr := newEntryGuard(prefs, s.sys.Rates.Classes, s.sys.Params.Epsilon,
-			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery)
+			s.cfg.GuardSlack, s.cfg.GuardWindow, s.cfg.GuardMinObs, s.cfg.GuardSampleEvery,
+			s.skewThreshold(), s.cfg.SkewMinObs)
 		if gerr != nil {
 			return nil, &Error{Code: cloud.CodeInternal, Err: gerr}
 		}
@@ -632,30 +689,45 @@ func (s *Server) CompileWait(timeout time.Duration) error {
 	return s.compiler.wait(timeout)
 }
 
-// scheduleHeal spawns the repersonalization goroutine for a tripped
-// entry — at most one per entry, and none once draining has begun
-// (healMu orders the Add against Shutdown's Wait).
-func (s *Server) scheduleHeal(entry *maskEntry) {
+// skewThreshold is the value guards are built with: the configured
+// threshold, or 0 (detector off) when proactive repersonalization is
+// disabled.
+func (s *Server) skewThreshold() float64 {
+	if s.cfg.DisableProactive {
+		return 0
+	}
+	return s.cfg.SkewThreshold
+}
+
+// scheduleHeal spawns the repersonalization goroutine for an entry — at
+// most one per entry, and none once draining has begun (healMu orders
+// the Add against Shutdown's Wait). Reports whether this call claimed
+// the entry's heal.
+func (s *Server) scheduleHeal(entry *maskEntry, reason string) bool {
 	if !entry.guard.claimHeal() {
-		return
+		return false
 	}
 	s.healMu.Lock()
 	if s.drainingHeals {
 		s.healMu.Unlock()
-		return
+		return false
 	}
 	s.healWG.Add(1)
 	s.healMu.Unlock()
-	go s.heal(entry)
+	go s.heal(entry, reason)
+	return true
 }
 
-// heal repersonalizes a tripped entry against the class mix its guard
-// actually observed, through the circuit breaker. The healed masks are
-// published under the entry's original request key, so the affected
-// users transparently move from fallback to masks that match their
-// real usage. Failures retry on a backoff until the breaker admits a
-// successful attempt or the server drains.
-func (s *Server) heal(entry *maskEntry) {
+// heal repersonalizes an entry against the class mix its guard actually
+// observed, through the circuit breaker. The healed masks are published
+// under the entry's original request key, so the affected users
+// transparently move onto masks that match their real usage. Failures
+// retry on a backoff until the breaker admits a successful attempt or
+// the server drains. A proactively scheduled heal (reason "skew") runs
+// while the entry still serves pruned masks; its first failure
+// force-trips the entry so the unpruned fallback — deferred on the
+// promise of a quick repersonalization — is restored immediately.
+func (s *Server) heal(entry *maskEntry, reason string) {
 	defer s.healWG.Done()
 	k := len(entry.prefs.Classes)
 	if k < 1 {
@@ -670,8 +742,8 @@ func (s *Server) heal(entry *maskEntry) {
 				if err == nil {
 					s.breaker.record(true)
 					s.cache.install(fresh)
-					s.st.healed()
-					s.events.Record("heal", entry.key, "repersonalized against observed class mix", nil)
+					s.st.healed(reason)
+					s.events.Record("heal", entry.key, "repersonalized against observed class mix ("+reason+")", nil)
 					if s.hookHealed != nil {
 						s.hookHealed(entry.key, prefs)
 					}
@@ -681,6 +753,10 @@ func (s *Server) heal(entry *maskEntry) {
 			s.breaker.record(false)
 			s.st.healFailed()
 			s.events.Record("heal-failed", entry.key, healCause(err), nil)
+			if reason == healReasonSkew && entry.guard.forceTrip() {
+				s.st.guardTripped()
+				s.events.Record("guard-trip", entry.key, "proactive heal failed; fallback restored", nil)
+			}
 		}
 		select {
 		case <-s.drainCh:

@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// proactiveGate is the hysteresis in front of proactive (skew-triggered)
+// repersonalization: server-wide, at most one proactive heal may start
+// per interval. Skew is level-triggered and a drift storm flips many
+// entries at once; without the gate every flipped entry would race a
+// System.Prune onto the personalizer the moment its window crossed the
+// threshold. Suppressed entries keep their signal (the guard refires)
+// and get their turn on a later observation — and the reactive ε-guard
+// trip path stays available the whole time, so the gate bounds eagerness,
+// never safety.
+//
+// A nil gate (proactive repersonalization disabled) allows nothing.
+type proactiveGate struct {
+	interval time.Duration
+	now      func() time.Time // injectable clock for tests
+
+	mu   sync.Mutex
+	last time.Time
+}
+
+func newProactiveGate(interval time.Duration) *proactiveGate {
+	return &proactiveGate{interval: interval, now: time.Now}
+}
+
+// allow consumes the gate's token if at least interval has passed since
+// the last granted one (the first call is always granted).
+func (p *proactiveGate) allow() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.now()
+	if !p.last.IsZero() && n.Sub(p.last) < p.interval {
+		return false
+	}
+	p.last = n
+	return true
+}

@@ -20,10 +20,19 @@
 # handoff onto joiners, and a held cache-hit floor — including a
 # kill -9 of an outgoing owner mid-handoff that must converge as
 # counted handoff failures, never as request failures.
-# A final bulk-flood phase stands up a fresh quota'd cluster and
+# A bulk-flood phase stands up a fresh quota'd cluster and
 # asserts the QoS contract: a flooding bulk tenant is shed with typed
 # over-quota answers while interactive traffic serves inside its
 # deadline budget with zero failures.
+# A final drift phase replays the same seeded skew-flip workload trace
+# (capnn-loadgen -workload zipf -drift ...) against two fresh guarded
+# clusters — proactive skew detection on, then off — and asserts the
+# SECS-style contract: with proactive on the shards repersonalize on
+# observed skew (reason="skew" heals > 0) and trip the ε-guard strictly
+# less than the proactive-off control, with zero client-visible
+# failures either way; the trace-determined scorecard fields replay
+# bit-identically, and both JSON scorecards are kept as artifacts
+# (driftload_on.json / driftload_off.json).
 # Binaries are built -race so the run doubles as a data-race hunt
 # across the serve + cluster hot paths (disable with RACE=0).
 #
@@ -474,6 +483,102 @@ grep -Eq "over-quota=[1-9]" "$WORKDIR/qstats.log" || {
     echo "cluster_smoke: FAIL: gateway counted no over-quota sheds"; exit 1; }
 grep -q "tenant batch/bulk" "$WORKDIR/qstats.log" || {
     echo "cluster_smoke: FAIL: gateway stats missing the bulk tenant's stream"; exit 1; }
+
+echo "cluster_smoke: phase 8 — drift: seeded skew-flip trace, proactive on vs off"
+# The guard knobs are tightened for the instrumented build: shadow-
+# sample every 2nd request so windows fill fast, the skew detector
+# judges at 6 observations while the accuracy trip needs 8 (the
+# detector must win the race), slack 0.3 absorbs the tiny model's base
+# misclassification so a *stationary* entry never reacts, and the
+# proactive gate at 50ms lets several drifting entries heal within one
+# short run. The trace itself: 6 zipf users over 10 classes, claimed
+# preferences flipping every 120 events and lagging the actual mix for
+# 60 — every user spends half of each epoch sending off-preference
+# traffic, exactly the window the detector must catch.
+DRIFT_TRACE=(-workload zipf -users 6 -seed 7 -drift "flip=120,lag=60" -n 240)
+D_PIDS=()
+run_drift() {
+    local tag="$1" proactive_flag="$2"
+    local addrs=() maddrs=()
+    for i in 0 1 2; do
+        "$WORKDIR/capnn-serve" -addr 127.0.0.1:0 -model "$MODEL" \
+            -request-timeout 100s -metrics-addr 127.0.0.1:0 \
+            -guard-sample-every 2 -guard-window 48 -guard-min-obs 8 -guard-slack 0.3 \
+            -skew-threshold 0.4 -skew-min-obs 6 -proactive-interval 50ms \
+            -proactive="$proactive_flag" >"$WORKDIR/dserve_${tag}$i.log" 2>&1 &
+        D_PIDS+=($!)
+        PIDS+=($!)
+    done
+    for i in 0 1 2; do
+        addrs+=("$(wait_addr "$WORKDIR/dserve_${tag}$i.log")")
+        maddrs+=("$(wait_maddr "$WORKDIR/dserve_${tag}$i.log")")
+    done
+    "$WORKDIR/capnn-gateway" -addr 127.0.0.1:0 \
+        -nodes "$(IFS=,; echo "${addrs[*]}")" \
+        -probe-every 250ms -probe-timeout 1s -fail-threshold 2 -cooldown 2s \
+        -request-timeout 120s -attempt-timeout 60s \
+        >"$WORKDIR/dgateway_$tag.log" 2>&1 &
+    D_PIDS+=($!)
+    PIDS+=($!)
+    local gw
+    gw=$(wait_addr "$WORKDIR/dgateway_$tag.log")
+    echo "cluster_smoke: drift cluster ($tag) at $gw, shards ${addrs[*]}"
+
+    if ! "$WORKDIR/capnn-loadgen" -addr "$gw" -model "$MODEL" "${DRIFT_TRACE[@]}" \
+        -concurrency 8 -timeout 150s -progress-every 50 -json \
+        >"$WORKDIR/driftload_$tag.json" 2>"$WORKDIR/driftload_$tag.log"; then
+        sed 's/^/  drift| /' "$WORKDIR/driftload_$tag.log" | tail -8
+        echo "cluster_smoke: FAIL: client-visible failures replaying the drift trace ($tag)"
+        exit 1
+    fi
+    grep -q ", 0 failed" "$WORKDIR/driftload_$tag.log" || {
+        echo "cluster_smoke: FAIL: drift replay ($tag) reported failures"; exit 1; }
+
+    # Sum the guard/heal accounting across the three shards.
+    local skew=0 trips=0 v
+    for i in 0 1 2; do
+        curl -sf "http://${maddrs[$i]}/metrics" >"$WORKDIR/dserve_${tag}${i}_metrics.txt" || {
+            echo "cluster_smoke: FAIL: drift shard $i ($tag) /metrics unreachable"; exit 1; }
+        # The reason-labeled family is pre-seeded, so the series exists
+        # even on a shard that never healed.
+        grep -q 'capnn_serve_repersonalize_total{reason="skew"}' "$WORKDIR/dserve_${tag}${i}_metrics.txt" || {
+            echo "cluster_smoke: FAIL: repersonalize reason series not pre-seeded on drift shard $i"; exit 1; }
+        v=$(metric_val 'capnn_serve_repersonalize_total{reason="skew"}' "$WORKDIR/dserve_${tag}${i}_metrics.txt")
+        skew=$((skew + v))
+        v=$(metric_val capnn_serve_guard_trips_total "$WORKDIR/dserve_${tag}${i}_metrics.txt")
+        trips=$((trips + v))
+    done
+    for pid in "${D_PIDS[@]}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    D_PIDS=()
+    echo "$skew $trips" >"$WORKDIR/drift_${tag}_counts"
+}
+
+run_drift on true
+run_drift off false
+read -r SKEW_ON TRIPS_ON <"$WORKDIR/drift_on_counts"
+read -r SKEW_OFF TRIPS_OFF <"$WORKDIR/drift_off_counts"
+echo "cluster_smoke: drift proactive-on: skew-heals=$SKEW_ON trips=$TRIPS_ON; proactive-off: skew-heals=$SKEW_OFF trips=$TRIPS_OFF"
+[ "$SKEW_ON" -ge 1 ] || {
+    echo "cluster_smoke: FAIL: proactive run recorded no skew-reason repersonalizations"; exit 1; }
+[ "$SKEW_OFF" -eq 0 ] || {
+    echo "cluster_smoke: FAIL: proactive-off run recorded $SKEW_OFF skew-reason repersonalizations"; exit 1; }
+[ "$TRIPS_OFF" -ge 1 ] || {
+    echo "cluster_smoke: FAIL: proactive-off control never tripped the guard under the flip trace"; exit 1; }
+[ "$TRIPS_ON" -lt "$TRIPS_OFF" ] || {
+    echo "cluster_smoke: FAIL: proactive detection did not reduce guard trips ($TRIPS_ON on vs $TRIPS_OFF off)"; exit 1; }
+
+# The seeded trace is bit-reproducible: every scorecard field that is a
+# pure function of the trace (not of cluster timing) must be identical
+# across the two replays.
+for field in seed workload users distinct_users requests drift_share; do
+    VON=$(grep -o "\"$field\": [^,]*" "$WORKDIR/driftload_on.json" | head -1)
+    VOFF=$(grep -o "\"$field\": [^,]*" "$WORKDIR/driftload_off.json" | head -1)
+    [ -n "$VON" ] && [ "$VON" = "$VOFF" ] || {
+        echo "cluster_smoke: FAIL: scorecard field $field differs across replays ($VON vs $VOFF)"; exit 1; }
+done
+echo "cluster_smoke: drift ok (scorecards in driftload_on.json / driftload_off.json)"
 
 # The race-built binaries must not have tripped the detector anywhere.
 if [ "$RACE" = "1" ] && grep -l "WARNING: DATA RACE" "$WORKDIR"/*.log >/dev/null 2>&1; then

@@ -1,0 +1,138 @@
+package capnn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"testing"
+
+	"capnn/internal/data"
+	"capnn/internal/workload"
+)
+
+// The workload engine extends the determinism contract pinned by
+// determinism_test.go to trace generation: event i is a pure function
+// of (config, i), so a seeded trace is bit-identical whether it is
+// generated serially by one cursor or sharded across goroutines each
+// holding their own model — exactly how capnn-loadgen's workers split
+// a run. A golden hash pins the stream against accidental generator
+// changes: evolving the workload model is a breaking change for
+// recorded scorecards and must be deliberate.
+
+func workloadDeterminismConfig(t testing.TB) WorkloadConfig {
+	t.Helper()
+	drift, err := ParseWorkloadDrift("flip=500,lag=125,diurnal=2000,burst-len=64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return WorkloadConfig{
+		// A million users proves the population never materializes: the
+		// model is O(1) in Users, only the drawn events exist.
+		Users:   1_000_000,
+		Classes: 10,
+		Groups:  data.DefaultSynthConfig(10).ClassGroups(),
+		Seed:    11,
+		Drift:   drift,
+	}
+}
+
+// workloadEventHash folds one event into h in a canonical textual form
+// (mirrors the hash in internal/workload's golden test).
+func workloadEventHash(h interface{ Write([]byte) (int, error) }, ev WorkloadEvent) {
+	fmt.Fprintf(h, "%d|%d|%s|%d|%t\n", ev.Index, ev.User, ev.Prefs.Key(), ev.Class, ev.Drifted)
+}
+
+func TestWorkloadTraceBitIdenticalAcrossShardings(t *testing.T) {
+	const n = 512
+	cfg := workloadDeterminismConfig(t)
+
+	serialModel, err := NewWorkloadModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := make([]WorkloadEvent, n)
+	s := serialModel.Stream(0)
+	for i := range serial {
+		serial[i] = s.Next()
+	}
+
+	// Shard the same index space across 7 goroutines in contiguous
+	// blocks (the loadgen worker split), each with its own model built
+	// from the same config.
+	const workers = 7
+	sharded := make([]WorkloadEvent, n)
+	var wg sync.WaitGroup
+	next := 0
+	for w := 0; w < workers; w++ {
+		share := n / workers
+		if w < n%workers {
+			share++
+		}
+		base := next
+		next += share
+		wg.Add(1)
+		go func(base, share int) {
+			defer wg.Done()
+			m, err := NewWorkloadModel(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := base; i < base+share; i++ {
+				sharded[i] = m.At(uint64(i))
+			}
+		}(base, share)
+	}
+	wg.Wait()
+
+	for i := range serial {
+		a, b := serial[i], sharded[i]
+		if a.Index != b.Index || a.User != b.User || a.Class != b.Class ||
+			a.Drifted != b.Drifted || a.Prefs.Key() != b.Prefs.Key() {
+			t.Fatalf("event %d differs between serial and sharded generation:\n serial: %+v\nsharded: %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkloadGoldenTraceHash(t *testing.T) {
+	const n = 512
+	m, err := NewWorkloadModel(workloadDeterminismConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	s := m.Stream(0)
+	for i := 0; i < n; i++ {
+		workloadEventHash(h, s.Next())
+	}
+	const want = uint64(0xbe7940b427aa8178)
+	if got := h.Sum64(); got != want {
+		t.Fatalf("golden trace hash = %#x, want %#x — the workload generator's output changed; "+
+			"if deliberate, re-pin (recorded scorecards are no longer comparable)", got, want)
+	}
+}
+
+// The stream cursor and random access agree from any starting offset —
+// a resumed replay (loadgen restarting mid-trace) continues the exact
+// same trace.
+func TestWorkloadStreamResumesMidTrace(t *testing.T) {
+	m, err := NewWorkloadModel(workloadDeterminismConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const start, n = 300, 64
+	s := m.Stream(start)
+	for i := 0; i < n; i++ {
+		got := s.Next()
+		want := m.At(uint64(start + i))
+		if got.Index != want.Index || got.User != want.User || got.Class != want.Class ||
+			got.Prefs.Key() != want.Prefs.Key() {
+			t.Fatalf("resumed stream event %d = %+v, want %+v", start+i, got, want)
+		}
+	}
+}
+
+// Keep the facade aliases honest: the re-exported constructor must hand
+// back the same concrete types the internal package produces.
+var _ *workload.Model = (*WorkloadModel)(nil)
+var _ workload.Event = WorkloadEvent{}
